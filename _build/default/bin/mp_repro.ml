@@ -1,0 +1,110 @@
+(* Command-line driver for the reproduction experiments.
+
+   mp_repro fig6 [--procs 1,4,16]    Figure 6 speedup sweep
+   mp_repro idle | bus | gc | sgi    the other evaluation sections
+   mp_repro locks                    lock latency microtable (E3)
+   mp_repro portability              source-line inventory (E2)
+   mp_repro all [--quick]            everything *)
+
+open Cmdliner
+
+let fmt = Format.std_formatter
+
+let procs_arg =
+  let doc = "Comma-separated proc counts for the sweep (default 1..16)." in
+  Arg.(value & opt (some (list int)) None & info [ "procs" ] ~doc)
+
+let quick_arg =
+  let doc = "Reduced sweep (1,4,16)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let plist_of quick procs =
+  match procs with
+  | Some l -> Some l
+  | None -> if quick then Some [ 1; 4; 16 ] else None
+
+let sweep quick procs = Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ()
+
+let fig6_cmd =
+  let run quick procs = Report.Experiments.print_fig6 fmt (sweep quick procs) in
+  Cmd.v (Cmd.info "fig6" ~doc:"Self-relative speedup curves (Figure 6)")
+    Term.(const run $ quick_arg $ procs_arg)
+
+let idle_cmd =
+  let run quick procs = Report.Experiments.print_idle fmt (sweep quick procs) in
+  Cmd.v (Cmd.info "idle" ~doc:"Processor idle fractions (E4)")
+    Term.(const run $ quick_arg $ procs_arg)
+
+let bus_cmd =
+  let run quick procs = Report.Experiments.print_bus fmt (sweep quick procs) in
+  Cmd.v (Cmd.info "bus" ~doc:"Memory-bus traffic and contention (E5)")
+    Term.(const run $ quick_arg $ procs_arg)
+
+let gc_cmd =
+  let run quick procs =
+    Report.Experiments.print_gc_ablation fmt (sweep quick procs)
+  in
+  Cmd.v (Cmd.info "gc" ~doc:"GC ablation (E6)")
+    Term.(const run $ quick_arg $ procs_arg)
+
+let sgi_cmd =
+  let run quick procs =
+    let plist =
+      match plist_of quick procs with
+      | Some l -> Some l
+      | None -> None
+    in
+    Report.Experiments.print_sgi fmt (Report.Experiments.sgi_sweep ?plist ())
+  in
+  Cmd.v (Cmd.info "sgi" ~doc:"The SGI machine model sweep (E7)")
+    Term.(const run $ quick_arg $ procs_arg)
+
+let locks_cmd =
+  let run () = Report.Experiments.print_lock_latency fmt in
+  Cmd.v (Cmd.info "locks" ~doc:"Lock latency vs the paper's 6/46 us (E3)")
+    Term.(const run $ const ())
+
+let portability_cmd =
+  let run () = Report.Experiments.print_portability fmt in
+  Cmd.v
+    (Cmd.info "portability" ~doc:"Source-line inventory, the paper's E2 table")
+    Term.(const run $ const ())
+
+let all_cmd =
+  let run quick procs =
+    Report.Experiments.print_lock_latency fmt;
+    Report.Experiments.print_portability fmt;
+    let s = sweep quick procs in
+    Report.Experiments.print_fig6 fmt s;
+    Report.Experiments.print_idle fmt s;
+    Report.Experiments.print_bus fmt s;
+    Report.Experiments.print_gc_ablation fmt s;
+    Report.Experiments.print_sgi fmt
+      (Report.Experiments.sgi_sweep
+         ?plist:(if quick then Some [ 1; 4; 8 ] else None)
+         ())
+  in
+  Cmd.v (Cmd.info "all" ~doc:"Every evaluation section")
+    Term.(const run $ quick_arg $ procs_arg)
+
+let () =
+  let info =
+    Cmd.info "mp_repro" ~version:"1.0"
+      ~doc:
+        "Regenerate the evaluation of 'Procs and Locks: A Portable \
+         Multiprocessing Platform for Standard ML of New Jersey' (PPOPP \
+         1993) on the simulated Sequent/SGI machines"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            fig6_cmd;
+            idle_cmd;
+            bus_cmd;
+            gc_cmd;
+            sgi_cmd;
+            locks_cmd;
+            portability_cmd;
+            all_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/alarms.ml: Atomic List Mp Mpthreads Printf Sim

@@ -1,0 +1,1 @@
+examples/alarms.mli:

@@ -1,0 +1,1 @@
+examples/bank.ml: List Mp Mpthreads Printf

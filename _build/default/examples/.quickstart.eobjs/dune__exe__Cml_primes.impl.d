@@ -1,0 +1,1 @@
+examples/cml_primes.ml: Cml List Mp Mpthreads Printf String

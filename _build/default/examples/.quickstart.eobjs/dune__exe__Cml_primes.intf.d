@@ -1,0 +1,1 @@
+examples/cml_primes.mli:

@@ -1,0 +1,1 @@
+examples/mergesort_futures.ml: Array Mp Mpsync Mpthreads Printf Random Sim

@@ -1,0 +1,1 @@
+examples/philosophers.ml: Array Atomic Mp Mpthreads Printf Queues Select

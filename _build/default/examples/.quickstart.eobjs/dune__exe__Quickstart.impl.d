@@ -1,0 +1,1 @@
+examples/quickstart.ml: Mp Mpthreads Printf Queues

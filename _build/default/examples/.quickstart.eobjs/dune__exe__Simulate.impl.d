@@ -1,0 +1,1 @@
+examples/simulate.ml: Array Mp Printf Sim Workloads

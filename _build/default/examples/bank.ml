@@ -1,0 +1,64 @@
+(* A bank account with blocking withdrawals, built on the Modula-3 style
+   thread package (typed fork/join, mutexes with ownership handoff, Mesa
+   condition variables) that the paper reports was built over MP.
+
+   Withdrawing threads wait on a condition until a depositor has made the
+   balance sufficient.
+
+   Run: dune exec examples/bank.exe *)
+
+module Platform =
+  Mp.Mp_domains.Int (struct
+      let max_procs = 4
+    end)
+    ()
+
+module Sched = Mpthreads.Sched_thread.Make (Platform)
+module M3 = Mpthreads.M3_thread.Make (Platform) (Sched)
+
+type account = {
+  mutex : M3.Mutex.t;
+  funds_deposited : M3.Condition.t;
+  mutable balance : int;
+}
+
+let deposit acc n =
+  M3.Mutex.with_lock acc.mutex (fun () -> acc.balance <- acc.balance + n);
+  M3.Condition.broadcast acc.funds_deposited
+
+let withdraw acc n =
+  M3.Mutex.lock acc.mutex;
+  while acc.balance < n do
+    (* Mesa semantics: re-check the predicate after every wakeup *)
+    M3.Condition.wait acc.mutex acc.funds_deposited
+  done;
+  acc.balance <- acc.balance - n;
+  M3.Mutex.unlock acc.mutex
+
+let () =
+  let final =
+    Platform.run (fun () ->
+        Sched.with_pool (fun () ->
+            let acc =
+              {
+                mutex = M3.Mutex.create ();
+                funds_deposited = M3.Condition.create ();
+                balance = 0;
+              }
+            in
+            (* 4 withdrawers of 250 each block until deposits arrive *)
+            let withdrawers =
+              List.init 4 (fun i ->
+                  M3.fork (fun () ->
+                      withdraw acc 250;
+                      Printf.printf "withdrawer %d got 250\n%!" i))
+            in
+            (* 10 depositors of 100 each *)
+            let depositors =
+              List.init 10 (fun _ -> M3.fork (fun () -> deposit acc 100))
+            in
+            List.iter M3.join depositors;
+            List.iter M3.join withdrawers;
+            M3.Mutex.with_lock acc.mutex (fun () -> acc.balance)))
+  in
+  Printf.printf "final balance: %d (expected %d)\n" final ((10 * 100) - (4 * 250))

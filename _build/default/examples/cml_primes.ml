@@ -1,0 +1,49 @@
+(* Prime sieve as a CML pipeline: a generator thread feeds candidate
+   numbers into a chain of filter threads, one per prime found — the classic
+   Concurrent ML demonstration of dynamically growing networks of threads
+   and synchronous channels.
+
+   Run: dune exec examples/cml_primes.exe *)
+
+module Platform =
+  Mp.Mp_domains.Int (struct
+      let max_procs = 4
+    end)
+    ()
+
+module Sched = Mpthreads.Sched_thread.Make (Platform)
+module Cml = Cml.Make (Platform) (Sched)
+
+let limit = 100
+
+let () =
+  let primes =
+    Platform.run (fun () ->
+        Sched.with_pool (fun () ->
+            (* generator: 2, 3, 4, ... *)
+            let numbers = Cml.channel () in
+            Cml.spawn (fun () ->
+                let n = ref 2 in
+                while true do
+                  Cml.send numbers !n;
+                  incr n
+                done);
+            (* filter: forward everything not divisible by p *)
+            let filter p input =
+              let output = Cml.channel () in
+              Cml.spawn (fun () ->
+                  while true do
+                    let n = Cml.recv input in
+                    if n mod p <> 0 then Cml.send output n
+                  done);
+              output
+            in
+            let rec sieve input acc =
+              let p = Cml.recv input in
+              if p > limit then List.rev acc
+              else sieve (filter p input) (p :: acc)
+            in
+            sieve numbers []))
+  in
+  Printf.printf "primes up to %d: %s\n" limit
+    (String.concat " " (List.map string_of_int primes))

@@ -1,0 +1,65 @@
+(* Parallel mergesort with Multilisp-style futures (the model the paper's
+   related-work section contrasts with MP's continuation-based threads),
+   run on the simulated Sequent so the speedup is visible in virtual time
+   on any host.
+
+   Run: dune exec examples/mergesort_futures.exe *)
+
+module Sequent =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:8 ()
+    end)
+    ()
+
+module Sched = Mpthreads.Sched_thread.Make (Sequent)
+module Sync = Mpsync.Sync.Make (Sequent) (Sched)
+
+let merge a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to la + lb - 1 do
+    if !i < la && (!j >= lb || a.(!i) <= b.(!j)) then begin
+      out.(k) <- a.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- b.(!j);
+      incr j
+    end
+  done;
+  (* annotate the virtual cost of the merge (comparisons + moves) *)
+  Sequent.Work.step ~instrs:((la + lb) * 8) ();
+  out
+
+let rec msort a =
+  if Array.length a <= 512 then begin
+    let a = Array.copy a in
+    Array.sort compare a;
+    Sequent.Work.step ~instrs:(Array.length a * 10 * 9) ();
+    a
+  end
+  else begin
+    let h = Array.length a / 2 in
+    let left = Sync.Future.spawn (fun () -> msort (Array.sub a 0 h)) in
+    let right = msort (Array.sub a h (Array.length a - h)) in
+    merge (Sync.Future.touch left) right
+  end
+
+let time_with procs =
+  let rng = Random.State.make [| 7 |] in
+  let input = Array.init 16_384 (fun _ -> Random.State.int rng 1_000_000) in
+  let sorted =
+    Sequent.run (fun () -> Sched.with_pool ~procs (fun () -> msort input))
+  in
+  assert (Array.for_all2 ( <= ) (Array.sub sorted 0 16_383) (Array.sub sorted 1 16_383));
+  (Sequent.stats ()).Mp.Stats.elapsed
+
+let () =
+  let t1 = time_with 1 in
+  let t8 = time_with 8 in
+  Printf.printf
+    "mergesort of 16384 keys on the simulated Sequent:\n\
+    \  1 proc : %.3f virtual seconds\n\
+    \  8 procs: %.3f virtual seconds  (speedup %.2fx)\n"
+    t1 t8 (t1 /. t8)

@@ -1,0 +1,51 @@
+(* Dining philosophers over the paper's selective-communication facility
+   (Figures 4-5): each fork is a token passed through a channel; picking a
+   fork up is [receive], putting it down is [send].  Deadlock is avoided by
+   acquiring the lower-numbered fork first.
+
+   Run: dune exec examples/philosophers.exe *)
+
+module Platform =
+  Mp.Mp_domains.Int (struct
+      let max_procs = 4
+    end)
+    ()
+
+module Sched = Mpthreads.Sched_thread.Make (Platform)
+module Chan = Select.Make (Platform) (Sched) (Queues.Fifo_queue)
+
+let philosophers = 5
+let meals_each = 3
+
+let () =
+  let eaten =
+    Platform.run (fun () ->
+        Sched.with_pool (fun () ->
+            let forks = Array.init philosophers (fun _ -> Chan.chan ()) in
+            (* put every fork on the table *)
+            Array.iter (fun f -> Sched.fork (fun () -> Chan.send (f, ()))) forks;
+            let eaten = Atomic.make 0 in
+            let done_ = Atomic.make 0 in
+            for i = 0 to philosophers - 1 do
+              Sched.fork (fun () ->
+                  let left = min i ((i + 1) mod philosophers) in
+                  let right = max i ((i + 1) mod philosophers) in
+                  for _ = 1 to meals_each do
+                    Chan.receive [ forks.(left) ];
+                    Chan.receive [ forks.(right) ];
+                    Atomic.incr eaten;
+                    (* put the forks back (as new sender threads so we can
+                       keep eating without waiting for a taker) *)
+                    Sched.fork (fun () -> Chan.send (forks.(left), ()));
+                    Sched.fork (fun () -> Chan.send (forks.(right), ()));
+                    Sched.yield ()
+                  done;
+                  Atomic.incr done_)
+            done;
+            while Atomic.get done_ < philosophers do
+              Sched.yield ()
+            done;
+            Atomic.get eaten))
+  in
+  Printf.printf "philosophers finished: %d meals eaten (expected %d)\n" eaten
+    (philosophers * meals_each)

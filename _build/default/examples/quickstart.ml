@@ -1,0 +1,47 @@
+(* Quickstart: the MP platform and the paper's Figure-3 thread package.
+
+   Creates a 4-proc platform over OCaml domains, forks threads that
+   increment a lock-protected counter, and shows per-proc data (thread ids
+   in the proc datum) and yielding.
+
+   Run: dune exec examples/quickstart.exe *)
+
+module Platform =
+  Mp.Mp_domains.Int (struct
+      let max_procs = 4
+    end)
+    ()
+
+module Thread = Mpthreads.Mp_thread.Make (Platform) (Queues.Fifo_queue)
+
+let () =
+  let n_threads = 16 in
+  let counter = ref 0 in
+  let lock = Platform.Lock.mutex_lock () in
+  let total =
+    Platform.run (fun () ->
+        for _ = 1 to n_threads do
+          Thread.fork (fun () ->
+              (* threads share the parent's heap; mutable state needs a
+                 mutex lock, exactly as in the paper *)
+              Platform.Lock.lock lock;
+              incr counter;
+              Platform.Lock.unlock lock;
+              Printf.printf "thread %d ran on proc %d\n%!" (Thread.id ())
+                (Platform.Proc.self ()))
+        done;
+        (* the main thread yields until all children have run *)
+        let rec wait () =
+          Platform.Lock.lock lock;
+          let c = !counter in
+          Platform.Lock.unlock lock;
+          if c < n_threads then begin
+            Thread.yield ();
+            wait ()
+          end
+          else c
+        in
+        wait ())
+  in
+  Printf.printf "all %d threads completed; %d procs available\n" total
+    (Platform.Proc.max_procs ())

@@ -1,0 +1,73 @@
+(** Concurrent ML prototype over MP.
+
+    The paper reports that "MP has also been used to construct a
+    multiprocessor prototype of Concurrent ML (CML), an ML dialect
+    supporting threads, channels, synchronous communication events (e.g.,
+    CSP-style nondeterministic choice)", with the runtime data structures
+    protected by "a single global lock".  This module reproduces that
+    prototype: first-class events with [wrap]/[guard]/[choose], synchronous
+    channels, and a two-phase commit on per-synchronization [committed]
+    locks; all channel queues are protected by one global MP mutex, exactly
+    the coarse-grained choice the paper describes (§3.4).
+
+    Wrap functions run in the synchronizing thread, after resumption. *)
+
+module Make (P : Mp.Mp_intf.PLATFORM_INT) (S : Mpthreads.Thread_intf.TIMED_SCHED) : sig
+  type 'a chan
+  type 'a event
+
+  val channel : unit -> 'a chan
+
+  val spawn : (unit -> unit) -> unit
+  (** Start a new CML thread ([S.fork]). *)
+
+  (* Base-event constructors *)
+
+  val send_evt : 'a chan -> 'a -> unit event
+  val recv_evt : 'a chan -> 'a event
+
+  val always : 'a -> 'a event
+  (** Always ready; synchronization yields the value immediately. *)
+
+  val never : 'a event
+  (** Never ready; synchronizing on it alone blocks forever. *)
+
+  val timeout_evt : float -> unit event
+  (** Becomes ready the given number of seconds after synchronization
+      begins (virtual seconds on the simulator).  CML's [timeOutEvt]. *)
+
+  (* Combinators *)
+
+  val choose : 'a event list -> 'a event
+  val wrap : 'a event -> ('a -> 'b) -> 'b event
+
+  val wrap_abort : 'a event -> (unit -> unit) -> 'a event
+  (** [wrap_abort ev abort]: if a synchronization chooses some {e other}
+      branch of the enclosing choice, [abort] runs (in the syncing thread,
+      after the chosen value is delivered).  CML's [wrapAbort], used for
+      cleaning up protocol state behind abandoned offers. *)
+
+  val guard : (unit -> 'a event) -> 'a event
+
+  (* Synchronization *)
+
+  val sync : 'a event -> 'a
+  val select : 'a event list -> 'a
+  (** [select evs = sync (choose evs)]. *)
+
+  (* Derived conveniences *)
+
+  val send : 'a chan -> 'a -> unit
+  val recv : 'a chan -> 'a
+  val recv_poll : 'a chan -> 'a option
+  (** Nonblocking receive: [Some v] if a sender is immediately available. *)
+
+  val sleep : float -> unit
+  (** [sync (timeout_evt d)]. *)
+
+  val recv_timeout : 'a chan -> float -> 'a option
+  (** Receive with a deadline: [None] if no sender commits in time. *)
+
+  val set_seed : int -> unit
+  (** Reseed the pseudo-random base-event polling order. *)
+end

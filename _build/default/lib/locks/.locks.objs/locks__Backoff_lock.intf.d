@@ -1,0 +1,1 @@
+lib/locks/backoff_lock.mli: Lock_intf

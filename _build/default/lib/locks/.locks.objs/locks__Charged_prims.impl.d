@@ -1,0 +1,1 @@
+lib/locks/charged_prims.ml: Atomic Mp

@@ -1,0 +1,1 @@
+lib/locks/charged_prims.mli: Lock_intf Mp

@@ -1,0 +1,1 @@
+lib/locks/clh_lock.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/hwpool_lock.ml: Array Lock_intf Tas_lock

@@ -1,0 +1,1 @@
+lib/locks/hwpool_lock.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/rw_spin_lock.ml: Lock_intf

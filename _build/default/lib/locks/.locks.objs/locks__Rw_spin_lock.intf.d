@@ -1,0 +1,1 @@
+lib/locks/rw_spin_lock.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/tas_lock.ml: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/ticket_lock.mli: Lock_intf

@@ -1,0 +1,1 @@
+lib/locks/ttas_lock.ml: Lock_intf

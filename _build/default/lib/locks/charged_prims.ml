@@ -1,0 +1,60 @@
+module type COSTS = sig
+  val rmw_cycles : int
+  val read_cycles : int
+  val write_cycles : int
+  val pause_cycles : int
+end
+
+(* 1993-bus flavored defaults: an RMW is a full bus transaction, a spin read
+   is a cache hit, a remote write invalidates. *)
+module Default_costs : COSTS = struct
+  let rmw_cycles = 60
+  let read_cycles = 2
+  let write_cycles = 20
+  let pause_cycles = 10
+end
+
+module Make (P : Mp.Mp_intf.PLATFORM) (C : COSTS) = struct
+  type 'a cell = 'a Atomic.t
+
+  let spins = ref 0
+
+  let make v = Atomic.make v
+
+  let get c =
+    P.Work.charge C.read_cycles;
+    Atomic.get c
+
+  let set c v =
+    P.Work.charge C.write_cycles;
+    Atomic.set c v
+
+  (* An RMW is a bus transaction: it charges the probing proc AND occupies
+     the shared bus, which is how spinning TAS probes slow everyone else
+     down (Anderson's effect). *)
+  let rmw_bus_bytes = 8
+
+  let exchange c v =
+    P.Work.charge C.rmw_cycles;
+    P.Work.traffic ~bytes:rmw_bus_bytes;
+    Atomic.exchange c v
+
+  let compare_and_set c old v =
+    P.Work.charge C.rmw_cycles;
+    P.Work.traffic ~bytes:rmw_bus_bytes;
+    Atomic.compare_and_set c old v
+
+  let fetch_and_add c n =
+    P.Work.charge C.rmw_cycles;
+    P.Work.traffic ~bytes:rmw_bus_bytes;
+    Atomic.fetch_and_add c n
+
+  let pause () = P.Work.charge C.pause_cycles
+
+  let pause_n n =
+    if n > 0 then P.Work.charge (n * C.pause_cycles)
+
+  let on_spin () = incr spins
+  let spin_count () = !spins
+  let reset_spin_count () = spins := 0
+end

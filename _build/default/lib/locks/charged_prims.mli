@@ -1,0 +1,30 @@
+(** Atomic primitives that charge virtual time through an MP platform's
+    [Work] interface before performing the real operation.
+
+    Instantiating a lock algorithm with these on the simulated backend
+    reproduces the relative costs that Anderson (1990) — the paper's
+    reference for spin-lock alternatives — measured: a read probe is cheap
+    (a cache hit while spinning), an RMW probe is expensive (a bus
+    transaction), so TAS degrades under contention while TTAS/backoff and
+    the queue locks spin locally.  On the simulator the charge is a
+    suspension point and the operation itself then executes without
+    interleaving, so it is atomic in virtual time. *)
+
+module type COSTS = sig
+  val rmw_cycles : int
+  (** exchange / compare_and_set / fetch_and_add *)
+
+  val read_cycles : int
+  val write_cycles : int
+  val pause_cycles : int
+end
+
+(** RMW = full bus transaction, spin read = cache hit. *)
+module Default_costs : COSTS
+
+module Make (P : Mp.Mp_intf.PLATFORM) (_ : COSTS) : sig
+  include Lock_intf.PRIMS
+
+  val spin_count : unit -> int
+  val reset_spin_count : unit -> unit
+end

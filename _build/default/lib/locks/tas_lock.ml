@@ -1,0 +1,15 @@
+module Make (P : Lock_intf.PRIMS) = struct
+  type mutex_lock = bool P.cell
+
+  let holder_must_unlock = false
+  let mutex_lock () = P.make false
+  let try_lock l = not (P.exchange l true)
+
+  let lock l =
+    while not (try_lock l) do
+      P.on_spin ();
+      P.pause ()
+    done
+
+  let unlock l = P.set l false
+end

@@ -1,0 +1,1 @@
+lib/model/speedup_model.mli:

@@ -1,0 +1,23 @@
+type params = {
+  work : float;
+  serial : float;
+  gc : float;
+  bus_seconds : float;
+  max_par : float;
+}
+
+let time p ~procs =
+  let par = min (float_of_int procs) p.max_par in
+  let cpu = (p.work /. par) +. p.serial +. p.gc in
+  max cpu p.bus_seconds
+
+let speedup p ~procs = time p ~procs:1 /. time p ~procs
+
+let fit ~elapsed1 ~gc1 ~bus_busy1 ?(serial = 0.) ?(max_par = infinity) () =
+  {
+    work = max 0. (elapsed1 -. gc1 -. serial);
+    serial;
+    gc = gc1;
+    bus_seconds = bus_busy1;
+    max_par;
+  }

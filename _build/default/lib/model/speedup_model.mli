@@ -1,0 +1,39 @@
+(** Closed-form speedup model used to cross-check the simulator.
+
+    The §6 story of the paper is that each benchmark's speedup is governed
+    by four resources; this model composes them analytically:
+
+    {ul
+    {- perfectly parallel work [work] (seconds on one proc), bounded by the
+       available parallelism [max_par] (e.g. simple's banded sweeps);}
+    {- a serial component [serial] (boundary passes, fork/join and
+       reduction overheads) that Amdahl-limits the curve;}
+    {- stop-the-world sequential collection [gc], paid at any proc count;}
+    {- a shared bus: the run cannot finish faster than its total traffic
+       [bus_bytes] divided by the bus bandwidth.}}
+
+    T(p) = max( work/min(p,max_par) + serial + gc,  bus_seconds ),
+    speedup(p) = T(1)/T(p).
+
+    Fitting these four numbers from a single-proc simulator run and
+    comparing predictions against full simulations validates that the
+    simulator's behaviour comes from the modelled resources and nothing
+    else. *)
+
+type params = {
+  work : float;  (** parallelizable seconds at p=1 *)
+  serial : float;  (** per-run serial seconds (excluding GC) *)
+  gc : float;  (** total collection seconds *)
+  bus_seconds : float;  (** total traffic / bandwidth *)
+  max_par : float;  (** parallelism cap (infinity if none) *)
+}
+
+val time : params -> procs:int -> float
+val speedup : params -> procs:int -> float
+
+val fit :
+  elapsed1:float -> gc1:float -> bus_busy1:float -> ?serial:float ->
+  ?max_par:float -> unit -> params
+(** Derive parameters from a 1-proc simulated run: [work] is what remains
+    of [elapsed1] after GC and the declared serial part; the bus bound is
+    the observed total bus occupancy. *)

@@ -1,0 +1,1 @@
+lib/mp/engine.mli:

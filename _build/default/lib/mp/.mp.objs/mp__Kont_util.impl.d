@@ -1,0 +1,1 @@
+lib/mp/kont_util.ml: Engine

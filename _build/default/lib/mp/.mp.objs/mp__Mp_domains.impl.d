@@ -1,0 +1,1 @@
+lib/mp/mp_domains.ml: Array Atomic Condition Domain Engine Fun Mp_intf Mutex Stats Unix

@@ -1,0 +1,1 @@
+lib/mp/mp_domains.mli: Mp_intf

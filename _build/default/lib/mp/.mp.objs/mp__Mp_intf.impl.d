@@ -1,0 +1,1 @@
+lib/mp/mp_intf.ml: Engine Stats

@@ -1,0 +1,1 @@
+lib/mp/mp_signal.ml: Array Atomic Mp_intf

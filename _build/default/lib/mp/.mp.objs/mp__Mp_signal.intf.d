@@ -1,0 +1,1 @@
+lib/mp/mp_signal.mli: Mp_intf

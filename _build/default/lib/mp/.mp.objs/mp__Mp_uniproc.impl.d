@@ -1,0 +1,1 @@
+lib/mp/mp_uniproc.ml: Engine Fun Mp_intf Stats Unix

@@ -1,0 +1,1 @@
+lib/mp/mp_uniproc.mli: Mp_intf

@@ -1,0 +1,1 @@
+lib/mp/stats.mli: Format

@@ -1,0 +1,60 @@
+type action = ..
+
+type 'a cont = {
+  k : ('a, action) Effect.Deep.continuation;
+  used : bool Atomic.t;
+}
+
+type action +=
+  | Resume : 'a cont * 'a -> action
+  | Raise : 'a cont * exn -> action
+  | Start of (unit -> unit)
+  | Stop
+
+type _ Effect.t += Suspend : ('a cont -> action) -> 'a Effect.t
+
+exception Already_resumed
+exception Unhandled_action
+
+let suspend f = Effect.perform (Suspend f)
+
+let throw c v = suspend (fun _abandoned -> Resume (c, v))
+
+let throw_exn c e = suspend (fun _abandoned -> Raise (c, e))
+
+(* The body runs in a fresh fiber so that a normal return can be routed back
+   to the captured continuation; a body ending in [throw]/[dispatch] simply
+   abandons that fiber.  This preserves SML callcc semantics under the
+   one-shot discipline. *)
+let callcc f =
+  suspend (fun c ->
+      Start
+        (fun () ->
+          match f c with
+          | v -> throw c v
+          | exception e -> throw_exn c e))
+
+let run_fiber ~on_exn f =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> Stop);
+      exnc = on_exn;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend f ->
+              Some
+                (fun (k : (a, action) Effect.Deep.continuation) ->
+                  f { k; used = Atomic.make false })
+          | _ -> None);
+    }
+
+let claim c = if not (Atomic.compare_and_set c.used false true) then raise Already_resumed
+
+let resume c v =
+  claim c;
+  Effect.Deep.continue c.k v
+
+let resume_exn c e =
+  claim c;
+  Effect.Deep.discontinue c.k e

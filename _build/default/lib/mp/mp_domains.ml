@@ -1,0 +1,287 @@
+module Make
+    (C : sig
+      val max_procs : int
+    end)
+    (D : Mp_intf.DATUM) : Mp_intf.PLATFORM with type Proc.proc_datum = D.t = struct
+  let name = "domains"
+  let max_procs = max 1 C.max_procs
+
+  module Kont = struct
+    type 'a cont = 'a Engine.cont
+
+    let callcc = Engine.callcc
+    let throw = Engine.throw
+    let throw_exn = Engine.throw_exn
+  end
+
+  type slot_state = Free | Busy
+
+  type slot = {
+    id : int;
+    mutable datum : D.t;
+    mutable state : slot_state;
+    mutable inbox : Engine.action option;
+    mutable domain : unit Domain.t option;
+    stats : Stats.proc_stats;
+  }
+
+  let m = Mutex.create ()
+  let cond = Condition.create ()
+  let quit = ref false
+  let running = ref false
+  let result_ready = ref false (* root result or escaped exception available *)
+  let escaped : exn option ref = ref None
+  let current_on_exn : (exn -> Engine.action) ref = ref (fun e -> raise e)
+
+  let slots =
+    Array.init max_procs (fun id ->
+        {
+          id;
+          datum = D.initial;
+          state = Free;
+          inbox = None;
+          domain = None;
+          stats = Stats.make_proc_stats ();
+        })
+
+  let proc_key = Domain.DLS.new_key (fun () -> -1)
+
+  let my_slot () =
+    let id = Domain.DLS.get proc_key in
+    if id < 0 then invalid_arg "Mp_domains: not running on an MP proc";
+    slots.(id)
+
+  let rec exec action =
+    match action with
+    | Engine.Resume (c, v) -> exec (Engine.resume c v)
+    | Engine.Raise (c, e) -> exec (Engine.resume_exn c e)
+    | Engine.Start f -> exec (Engine.run_fiber ~on_exn:!current_on_exn f)
+    | Engine.Stop -> ()
+    | _ -> raise Engine.Unhandled_action
+
+  (* Run one delivery: execute [action] until this proc stops, then mark the
+     slot free.  Busy time is accounted to the slot. *)
+  let serve slot action =
+    let t0 = Unix.gettimeofday () in
+    exec action;
+    slot.stats.busy <- slot.stats.busy +. (Unix.gettimeofday () -. t0);
+    Mutex.lock m;
+    slot.state <- Free;
+    Condition.broadcast cond;
+    Mutex.unlock m
+
+  let worker id () =
+    Domain.DLS.set proc_key id;
+    let slot = slots.(id) in
+    let rec loop () =
+      Mutex.lock m;
+      while slot.inbox = None && not !quit do
+        Condition.wait cond m
+      done;
+      match slot.inbox with
+      | None ->
+          (* quit requested *)
+          Mutex.unlock m
+      | Some action ->
+          slot.inbox <- None;
+          Mutex.unlock m;
+          serve slot action;
+          loop ()
+    in
+    loop ()
+
+  module Proc = struct
+    type proc_datum = D.t
+    type proc_state = PS of unit Engine.cont * proc_datum
+
+    exception No_More_Procs = Mp_intf.No_More_Procs
+
+    let acquire_proc (PS (cont, datum)) =
+      Mutex.lock m;
+      let rec find i =
+        if i >= max_procs then None
+        else if slots.(i).state = Free then Some slots.(i)
+        else find (i + 1)
+      in
+      match find 0 with
+      | None ->
+          Mutex.unlock m;
+          raise No_More_Procs
+      | Some slot ->
+          slot.state <- Busy;
+          slot.datum <- datum;
+          slot.inbox <- Some (Engine.Resume (cont, ()));
+          if slot.domain = None && slot.id <> 0 then
+            slot.domain <- Some (Domain.spawn (worker slot.id));
+          Condition.broadcast cond;
+          Mutex.unlock m
+
+    let release_proc () = Engine.suspend (fun _ -> Engine.Stop)
+    let initial_datum = D.initial
+    let get_datum () = (my_slot ()).datum
+    let set_datum d = (my_slot ()).datum <- d
+    let self () = Domain.DLS.get proc_key
+    let max_procs () = max_procs
+
+    let live_procs () =
+      Mutex.lock m;
+      let n =
+        Array.fold_left
+          (fun acc s -> if s.state = Busy then acc + 1 else acc)
+          0 slots
+      in
+      Mutex.unlock m;
+      n
+  end
+
+  module Lock = struct
+    type mutex_lock = bool Atomic.t
+
+    let mutex_lock () = Atomic.make false
+    let try_lock l = not (Atomic.exchange l true)
+
+    let lock l =
+      while not (try_lock l) do
+        let stats = (my_slot ()).stats in
+        stats.lock_spins <- stats.lock_spins + 1;
+        while Atomic.get l do
+          Domain.cpu_relax ()
+        done
+      done
+
+    let unlock l = Atomic.set l false
+  end
+
+  module Work = struct
+    let hook = ref (fun () -> ())
+    let step ?alloc_words:_ ~instrs:_ () = !hook ()
+    let charge _ = ()
+    let alloc ~words:_ = ()
+    let traffic ~bytes:_ = ()
+    let poll () = !hook ()
+    let set_poll_hook f = hook := f
+    let idle () = Domain.cpu_relax ()
+    let now () = Unix.gettimeofday ()
+  end
+
+  let last_elapsed = ref 0.
+
+  let all_free_no_inbox () =
+    Array.for_all (fun s -> s.state = Free && s.inbox = None) slots
+
+  (* Serve actions delivered to the root slot (slot 0 may be re-acquired
+     after the root proc releases itself), and return once the computation
+     is finished or provably deadlocked. *)
+  let root_service_loop () =
+    let rec loop () =
+      Mutex.lock m;
+      match slots.(0).inbox with
+      | Some action ->
+          slots.(0).inbox <- None;
+          Mutex.unlock m;
+          serve slots.(0) action;
+          loop ()
+      | None ->
+          if all_free_no_inbox () then begin
+            let finished = !result_ready in
+            Mutex.unlock m;
+            if not finished then
+              raise
+                (Mp_intf.Deadlock
+                   "all procs released but the root computation produced no \
+                    result")
+          end
+          else begin
+            Condition.wait cond m;
+            Mutex.unlock m;
+            loop ()
+          end
+    in
+    loop ()
+
+  let teardown () =
+    Mutex.lock m;
+    quit := true;
+    Condition.broadcast cond;
+    Mutex.unlock m;
+    Array.iter
+      (fun s ->
+        match s.domain with
+        | Some d ->
+            Domain.join d;
+            s.domain <- None
+        | None -> ())
+      slots;
+    quit := false
+
+  let run f =
+    if !running then invalid_arg "Mp_domains.run: already running";
+    running := true;
+    result_ready := false;
+    escaped := None;
+    Array.iter
+      (fun s ->
+        s.state <- Free;
+        s.inbox <- None;
+        s.datum <- D.initial)
+      slots;
+    Domain.DLS.set proc_key 0;
+    let result = ref None in
+    (current_on_exn :=
+       fun e ->
+         Mutex.lock m;
+         if !escaped = None then escaped := Some e;
+         result_ready := true;
+         Condition.broadcast cond;
+         Mutex.unlock m;
+         Engine.Stop);
+    let root_thunk () =
+      let v = f () in
+      Mutex.lock m;
+      result := Some v;
+      result_ready := true;
+      Condition.broadcast cond;
+      Mutex.unlock m
+    in
+    slots.(0).state <- Busy;
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        running := false;
+        last_elapsed := Unix.gettimeofday () -. t0)
+      (fun () ->
+        serve slots.(0) (Engine.Start root_thunk);
+        Fun.protect ~finally:teardown root_service_loop;
+        match (!result, !escaped) with
+        | Some v, _ -> v
+        | None, Some e -> raise e
+        | None, None ->
+            raise (Mp_intf.Deadlock "root computation vanished without result"))
+
+  let stats () =
+    let t = Stats.zero ~platform:name ~procs:max_procs in
+    Array.iteri
+      (fun i s ->
+        t.per_proc.(i).busy <- s.stats.busy;
+        t.per_proc.(i).lock_spins <- s.stats.lock_spins)
+      slots;
+    { t with elapsed = !last_elapsed }
+
+  let reset_stats () =
+    last_elapsed := 0.;
+    Array.iter
+      (fun s ->
+        s.stats.busy <- 0.;
+        s.stats.idle <- 0.;
+        s.stats.gc_wait <- 0.;
+        s.stats.lock_spins <- 0;
+        s.stats.alloc_words <- 0)
+      slots
+end
+
+module Int
+    (C : sig
+      val max_procs : int
+    end)
+    () =
+  Make (C) (Mp_intf.Int_datum)

@@ -1,0 +1,21 @@
+(** MP backend over OCaml domains.
+
+    Each proc is a domain, the analog of the paper's kernel threads (Mach
+    threads on the Luna; address-space-sharing processes on Irix/Dynix).
+    Released procs park their domain rather than exiting, mirroring the
+    paper's note that the runtime "may choose to re-use a previously
+    released kernel thread".  Continuations migrate freely between procs.
+
+    [run] executes the root fiber on the calling domain and returns once the
+    root computation has produced a value {e and} every other proc has been
+    released; worker domains are then joined. *)
+
+module Make (C : sig
+  val max_procs : int
+end)
+(D : Mp_intf.DATUM) : Mp_intf.PLATFORM with type Proc.proc_datum = D.t
+
+(** Domains platform with [int] per-proc datum. *)
+module Int (C : sig
+  val max_procs : int
+end) () : Mp_intf.PLATFORM_INT

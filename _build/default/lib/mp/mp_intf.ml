@@ -1,0 +1,156 @@
+(** Interfaces of the MP multiprocessing platform (paper, Figure 2).
+
+    A backend provides [PROC] (processor management and per-proc data),
+    [LOCK] (mutex spin locks) and — beyond the paper, to support the
+    simulated multiprocessor — [WORK] (virtual-cost charging and safe
+    points).  Client packages (thread systems, channels, CML) are functors
+    over [PLATFORM]. *)
+
+exception No_More_Procs
+(** Raised by [acquire_proc] when every proc is in use.  Shared across all
+    backends so that client handlers are portable. *)
+
+exception Deadlock of string
+(** Raised by [run] when every proc has been released but the root
+    computation never produced a result. *)
+
+(** Client-defined per-proc private datum (paper §3.2). *)
+module type DATUM = sig
+  type t
+
+  val initial : t
+  (** Datum of the root proc. *)
+end
+
+(** First-class continuations; re-export of {!Engine} operations. *)
+module type KONT = sig
+  type 'a cont = 'a Engine.cont
+
+  val callcc : ('a cont -> 'a) -> 'a
+  val throw : 'a cont -> 'a -> 'b
+  val throw_exn : 'a cont -> exn -> 'b
+end
+
+(** Processor management (paper §3.1–3.2). *)
+module type PROC = sig
+  type proc_datum
+  type proc_state = PS of unit Engine.cont * proc_datum
+
+  exception No_More_Procs
+
+  val acquire_proc : proc_state -> unit
+  (** Start a new proc executing the given continuation, with the given
+      private datum.  Returns to the caller, which keeps its own proc.
+      @raise No_More_Procs when the proc limit is reached. *)
+
+  val release_proc : unit -> 'a
+  (** Stop executing and return the current physical processor to the
+      system.  The current computation is abandoned (capture it first with
+      [callcc] if it must survive).  Never returns. *)
+
+  val initial_datum : proc_datum
+
+  val get_datum : unit -> proc_datum
+  (** Read the calling proc's private datum. *)
+
+  val set_datum : proc_datum -> unit
+  (** Write the calling proc's private datum. *)
+
+  (* Extensions beyond the paper's signature, used by schedulers/benchmarks. *)
+
+  val self : unit -> int
+  (** Index of the calling proc; the root proc is 0. *)
+
+  val max_procs : unit -> int
+  (** Compile-time proc limit of this platform instance (paper §5). *)
+
+  val live_procs : unit -> int
+  (** Number of procs currently acquired (including the root). *)
+end
+
+(** Mutual exclusion (paper §3.3). *)
+module type LOCK = sig
+  type mutex_lock
+
+  val mutex_lock : unit -> mutex_lock
+  (** A fresh lock in unlocked state. *)
+
+  val try_lock : mutex_lock -> bool
+  (** Atomically attempt to set the lock; [true] on success. *)
+
+  val lock : mutex_lock -> unit
+  (** Spin until the lock is acquired.  Equivalent to
+      [while not (try_lock l) do () done], but a platform may spin more
+      efficiently (e.g. with backoff). *)
+
+  val unlock : mutex_lock -> unit
+  (** Release the lock.  May be called by any proc, not necessarily the one
+      that set it. *)
+end
+
+(** Virtual-cost charging and safe points.
+
+    On real backends all charging operations are no-ops and [now] reads the
+    wall clock.  On the simulator they advance the calling proc's virtual
+    clock, generate memory-bus traffic and trigger simulated collections;
+    they are also the points at which simulated preemption can occur. *)
+module type WORK = sig
+  val step : ?alloc_words:int -> instrs:int -> unit -> unit
+  (** Account for [instrs] abstract instructions of client work, allocating
+      [alloc_words] heap words (default: [instrs/5], the SML/NJ ratio of one
+      word per 3–7 instructions, paper §5). *)
+
+  val charge : int -> unit
+  (** Account for raw virtual cycles (no allocation). *)
+
+  val alloc : words:int -> unit
+  (** Account for heap allocation only. *)
+
+  val traffic : bytes:int -> unit
+  (** Account for raw shared-bus traffic that is not allocation (cache
+      misses on shared data, lock RMW transactions).  No-op on real
+      backends. *)
+
+  val poll : unit -> unit
+  (** Safe point: give the platform (and, through the poll hook, the thread
+      package) a chance to preempt, as in the paper's timer-driven polling
+      (§3.4). *)
+
+  val set_poll_hook : (unit -> unit) -> unit
+  (** Install the thread package's preemption check, invoked at each safe
+      point. *)
+
+  val idle : unit -> unit
+  (** Pause briefly while waiting for work; accounted as idle time. *)
+
+  val now : unit -> float
+  (** Seconds: virtual time on the simulator, wall clock otherwise. *)
+end
+
+(** A complete MP platform instance. *)
+module type PLATFORM = sig
+  val name : string
+
+  module Kont : KONT
+  module Proc : PROC
+  module Lock : LOCK
+  module Work : WORK
+
+  val run : (unit -> 'a) -> 'a
+  (** Execute a computation as the root fiber of the root proc; returns when
+      the result is available and all other procs have been released.
+      @raise Deadlock if all procs stop without producing a result. *)
+
+  val stats : unit -> Stats.t
+  val reset_stats : unit -> unit
+end
+
+(** A platform whose per-proc datum is an [int] (thread-id convention used
+    by the paper's thread packages, Figures 1 and 3). *)
+module type PLATFORM_INT = PLATFORM with type Proc.proc_datum = int
+
+module Int_datum : DATUM with type t = int = struct
+  type t = int
+
+  let initial = 0
+end

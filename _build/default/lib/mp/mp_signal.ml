@@ -1,0 +1,79 @@
+module Make (P : Mp_intf.PLATFORM) = struct
+  type signal = int
+
+  let max_signals = 64
+  let table_lock = P.Lock.mutex_lock ()
+  let handlers : (signal -> unit) option array = Array.make max_signals None
+
+  (* Per-proc masks and pending flags.  Each proc reads and clears only its
+     own row; [deliver] (any proc) sets pending bits, so those are atomic. *)
+  let procs = P.Proc.max_procs ()
+  let masks = Array.make_matrix procs max_signals false
+  let pending_flags = Array.init procs (fun _ -> Array.init max_signals (fun _ -> Atomic.make false))
+
+  let check_signal s =
+    if s < 0 || s >= max_signals then invalid_arg "Mp_signal: signal out of range"
+
+  let install s handler =
+    check_signal s;
+    P.Lock.lock table_lock;
+    handlers.(s) <- handler;
+    P.Lock.unlock table_lock
+
+  let mask s =
+    check_signal s;
+    masks.(P.Proc.self ()).(s) <- true
+
+  let unmask s =
+    check_signal s;
+    masks.(P.Proc.self ()).(s) <- false
+
+  let is_masked s =
+    check_signal s;
+    masks.(P.Proc.self ()).(s)
+
+  let deliver_to ~proc s =
+    check_signal s;
+    if proc < 0 || proc >= procs then invalid_arg "Mp_signal.deliver_to";
+    Atomic.set pending_flags.(proc).(s) true
+
+  let deliver s =
+    check_signal s;
+    for proc = 0 to procs - 1 do
+      Atomic.set pending_flags.(proc).(s) true
+    done
+
+  let pending () =
+    let me = P.Proc.self () in
+    let n = ref 0 in
+    for s = 0 to max_signals - 1 do
+      if Atomic.get pending_flags.(me).(s) then incr n
+    done;
+    !n
+
+  let poll () =
+    let me = P.Proc.self () in
+    for s = 0 to max_signals - 1 do
+      if
+        Atomic.get pending_flags.(me).(s)
+        && (not masks.(me).(s))
+        && Atomic.compare_and_set pending_flags.(me).(s) true false
+      then begin
+        P.Lock.lock table_lock;
+        let handler = handlers.(s) in
+        P.Lock.unlock table_lock;
+        match handler with Some f -> f s | None -> ()
+      end
+    done
+
+  let reset () =
+    P.Lock.lock table_lock;
+    Array.fill handlers 0 max_signals None;
+    P.Lock.unlock table_lock;
+    for p = 0 to procs - 1 do
+      Array.fill masks.(p) 0 max_signals false;
+      for s = 0 to max_signals - 1 do
+        Atomic.set pending_flags.(p).(s) false
+      done
+    done
+end

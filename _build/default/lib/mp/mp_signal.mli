@@ -1,0 +1,47 @@
+(** Signal conventions for multiprocessing (paper §3.4).
+
+    The paper's rules: "Signal handlers are installed on a global basis,
+    i.e., all procs share the same signal-handling functions, and all procs
+    receive each delivered signal.  However, masking and unmasking of
+    signals is controlled on a per-proc basis."  And since MP deliberately
+    has no facility for procs to alert one another, "these operations may
+    be simulated using timer-driven polling in the target proc" — which is
+    exactly how delivery works here: signals become pending per-proc and
+    handlers run at the receiving proc's next {!poll}.
+
+    Use [Work.set_poll_hook] (or the thread package's poll chain) to make
+    every safe point a delivery point:
+    [P.Work.set_poll_hook Sig.poll]. *)
+
+module Make (P : Mp_intf.PLATFORM) : sig
+  type signal = int
+
+  val install : signal -> (signal -> unit) option -> unit
+  (** Install (or, with [None], remove) the global handler shared by all
+      procs. *)
+
+  val mask : signal -> unit
+  (** Block delivery of [signal] on the calling proc; deliveries stay
+      pending. *)
+
+  val unmask : signal -> unit
+  val is_masked : signal -> bool
+
+  val deliver : signal -> unit
+  (** Post the signal to {e every} proc; each handles it independently at
+      its next poll (if unmasked there). *)
+
+  val deliver_to : proc:int -> signal -> unit
+  (** Convenience beyond the paper: post to one proc only (the
+      "simulated alert" of §3.4). *)
+
+  val poll : unit -> unit
+  (** Run the global handler for each pending, unmasked signal of the
+      calling proc (in signal-number order). *)
+
+  val pending : unit -> int
+  (** Number of undelivered signals pending on the calling proc. *)
+
+  val reset : unit -> unit
+  (** Clear handlers, masks and pending sets (test isolation). *)
+end

@@ -1,0 +1,104 @@
+module Make (D : Mp_intf.DATUM) : Mp_intf.PLATFORM with type Proc.proc_datum = D.t =
+struct
+  let name = "uniproc"
+
+  module Kont = struct
+    type 'a cont = 'a Engine.cont
+
+    let callcc = Engine.callcc
+    let throw = Engine.throw
+    let throw_exn = Engine.throw_exn
+  end
+
+  module Proc = struct
+    type proc_datum = D.t
+    type proc_state = PS of unit Engine.cont * proc_datum
+
+    exception No_More_Procs = Mp_intf.No_More_Procs
+
+    let datum = ref D.initial
+    let acquire_proc (PS (_, _)) = raise No_More_Procs
+    let release_proc () = Engine.suspend (fun _ -> Engine.Stop)
+    let initial_datum = D.initial
+    let get_datum () = !datum
+    let set_datum d = datum := d
+    let self () = 0
+    let max_procs () = 1
+    let live_procs () = 1
+  end
+
+  module Lock = struct
+    type mutex_lock = { mutable held : bool }
+
+    let mutex_lock () = { held = false }
+
+    let try_lock l =
+      if l.held then false
+      else begin
+        l.held <- true;
+        true
+      end
+
+    let lock l =
+      (* With a single proc a contended lock can never be released by anyone
+         else, so spinning would loop forever; fail fast instead. *)
+      if not (try_lock l) then
+        failwith "Mp_uniproc.Lock.lock: deadlock (lock already held on a uniprocessor)"
+
+    let unlock l = l.held <- false
+  end
+
+  module Work = struct
+    let hook = ref (fun () -> ())
+    let step ?alloc_words:_ ~instrs:_ () = !hook ()
+    let charge _ = ()
+    let alloc ~words:_ = ()
+    let traffic ~bytes:_ = ()
+    let poll () = !hook ()
+    let set_poll_hook f = hook := f
+    let idle () = ()
+    let now () = Unix.gettimeofday ()
+  end
+
+  let last_elapsed = ref 0.
+  let running = ref false
+
+  let rec exec ~on_exn action =
+    match action with
+    | Engine.Resume (c, v) -> exec ~on_exn (Engine.resume c v)
+    | Engine.Raise (c, e) -> exec ~on_exn (Engine.resume_exn c e)
+    | Engine.Start f -> exec ~on_exn (Engine.run_fiber ~on_exn f)
+    | Engine.Stop -> ()
+    | _ -> raise Engine.Unhandled_action
+
+  let run f =
+    if !running then invalid_arg "Mp_uniproc.run: already running";
+    running := true;
+    let result = ref None in
+    let escaped = ref None in
+    let on_exn e =
+      if !escaped = None then escaped := Some e;
+      Engine.Stop
+    in
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        running := false;
+        last_elapsed := Unix.gettimeofday () -. t0)
+      (fun () ->
+        exec ~on_exn (Engine.Start (fun () -> result := Some (f ())));
+        match (!result, !escaped) with
+        | Some v, _ -> v
+        | None, Some e -> raise e
+        | None, None ->
+            raise
+              (Mp_intf.Deadlock
+                 "uniproc root proc released without producing a result"))
+
+  let stats () =
+    { (Stats.zero ~platform:name ~procs:1) with elapsed = !last_elapsed }
+
+  let reset_stats () = last_elapsed := 0.
+end
+
+module Int () = Make (Mp_intf.Int_datum)

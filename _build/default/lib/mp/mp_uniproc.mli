@@ -1,0 +1,12 @@
+(** The trivial uniprocessor MP backend.
+
+    The paper notes that "a trivial uniprocessor implementation works on all
+    processors that run SML/NJ"; this is its OCaml analog.  There is exactly
+    one proc (the root), [acquire_proc] always raises [No_More_Procs], and
+    locks are plain boolean cells — safe because nothing ever runs
+    concurrently and fibers only switch at explicit suspension points. *)
+
+module Make (D : Mp_intf.DATUM) : Mp_intf.PLATFORM with type Proc.proc_datum = D.t
+
+(** Uniprocessor platform with [int] per-proc datum. *)
+module Int () : Mp_intf.PLATFORM_INT

@@ -1,0 +1,44 @@
+(** Execution statistics reported uniformly by every MP backend.
+
+    The simulator fills every field from its virtual-time accounting; real
+    backends report what they can measure (elapsed time, proc counts, lock
+    contention) and leave the rest at zero. *)
+
+type proc_stats = {
+  mutable busy : float;  (** seconds spent running client code *)
+  mutable idle : float;  (** seconds spent idle, waiting for work *)
+  mutable gc_wait : float;  (** seconds stalled at GC barriers *)
+  mutable lock_spins : int;  (** failed [try_lock] attempts *)
+  mutable alloc_words : int;  (** words allocated by this proc *)
+}
+
+type t = {
+  platform : string;
+  procs : int;  (** number of procs configured *)
+  elapsed : float;  (** seconds (virtual on the simulator, wall otherwise) *)
+  gc_time : float;  (** total stop-the-world collection seconds *)
+  gc_count : int;
+  bus_busy : float;  (** seconds the shared memory bus was occupied *)
+  bus_bytes : int;  (** total bytes transferred over the bus *)
+  per_proc : proc_stats array;
+}
+
+val make_proc_stats : unit -> proc_stats
+val zero : platform:string -> procs:int -> t
+
+val idle_fraction : t -> float
+(** Mean fraction of proc time spent idle (idle / (busy+idle+gc_wait)),
+    the quantity behind the paper's "average processor idle rates above
+    50%" claim for [simple]. *)
+
+val gc_fraction : t -> float
+(** gc_time / (procs * elapsed): share of total processor-seconds spent in
+    (or waiting on) sequential collection. *)
+
+val bus_utilization : t -> float
+(** bus_busy / elapsed. *)
+
+val total_alloc_words : t -> int
+val total_lock_spins : t -> int
+
+val pp : Format.formatter -> t -> unit

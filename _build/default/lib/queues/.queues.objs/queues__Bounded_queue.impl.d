@@ -1,0 +1,1 @@
+lib/queues/bounded_queue.ml: Array Queue_intf

@@ -1,0 +1,1 @@
+lib/queues/bounded_queue.mli:

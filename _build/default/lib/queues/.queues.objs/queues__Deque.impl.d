@@ -1,0 +1,1 @@
+lib/queues/deque.ml: Array Queue_intf

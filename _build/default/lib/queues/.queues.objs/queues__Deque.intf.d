@@ -1,0 +1,1 @@
+lib/queues/deque.mli: Queue_intf

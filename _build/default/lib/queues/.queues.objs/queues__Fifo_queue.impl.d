@@ -1,0 +1,1 @@
+lib/queues/fifo_queue.ml: List Queue_intf

@@ -1,0 +1,1 @@
+lib/queues/fifo_queue.mli: Queue_intf

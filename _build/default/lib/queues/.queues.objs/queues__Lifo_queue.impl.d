@@ -1,0 +1,1 @@
+lib/queues/lifo_queue.ml: Queue_intf

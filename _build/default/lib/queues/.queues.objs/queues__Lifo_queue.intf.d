@@ -1,0 +1,1 @@
+lib/queues/lifo_queue.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/queues/locked_queue.ml: Mp Queue_intf

@@ -1,0 +1,1 @@
+lib/queues/locked_queue.mli: Mp Queue_intf

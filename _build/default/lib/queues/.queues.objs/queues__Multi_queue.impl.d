@@ -1,0 +1,1 @@
+lib/queues/multi_queue.ml: Array Deque Mp

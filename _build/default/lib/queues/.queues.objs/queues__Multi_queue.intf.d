@@ -1,0 +1,1 @@
+lib/queues/multi_queue.mli: Mp

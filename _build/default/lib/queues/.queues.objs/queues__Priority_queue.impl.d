@@ -1,0 +1,1 @@
+lib/queues/priority_queue.ml: Array Queue_intf

@@ -1,0 +1,1 @@
+lib/queues/priority_queue.mli: Queue_intf

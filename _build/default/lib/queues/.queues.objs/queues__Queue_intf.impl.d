@@ -1,0 +1,1 @@
+lib/queues/queue_intf.ml:

@@ -1,0 +1,1 @@
+lib/queues/random_queue.ml: Array Queue_intf Random

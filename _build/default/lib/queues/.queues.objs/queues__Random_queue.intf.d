@@ -1,0 +1,1 @@
+lib/queues/random_queue.mli: Queue_intf

@@ -1,0 +1,1 @@
+lib/queues/ws_deque.mli:

@@ -1,0 +1,36 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable head : int;
+  mutable size : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Bounded_queue.create";
+  { buf = Array.make capacity None; head = 0; size = 0 }
+
+let capacity q = Array.length q.buf
+let length q = q.size
+let is_empty q = q.size = 0
+let is_full q = q.size = capacity q
+
+let try_enq q x =
+  if is_full q then false
+  else begin
+    q.buf.((q.head + q.size) mod capacity q) <- Some x;
+    q.size <- q.size + 1;
+    true
+  end
+
+let enq q x = if not (try_enq q x) then raise Queue_intf.Full
+
+let deq q =
+  if q.size = 0 then raise Queue_intf.Empty;
+  match q.buf.(q.head) with
+  | None -> assert false
+  | Some x ->
+      q.buf.(q.head) <- None;
+      q.head <- (q.head + 1) mod capacity q;
+      q.size <- q.size - 1;
+      x
+
+let deq_opt q = match deq q with x -> Some x | exception Queue_intf.Empty -> None

@@ -1,0 +1,22 @@
+(** Fixed-capacity FIFO ring buffer.
+
+    Used where unbounded queues would mask producer/consumer imbalance (e.g.
+    flow-controlled channels in examples and failure-injection tests). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+
+val enq : 'a t -> 'a -> unit
+(** @raise Queue_intf.Full at capacity. *)
+
+val try_enq : 'a t -> 'a -> bool
+
+val deq : 'a t -> 'a
+(** @raise Queue_intf.Empty when empty. *)
+
+val deq_opt : 'a t -> 'a option
+val length : 'a t -> int
+val capacity : 'a t -> int
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool

@@ -1,0 +1,28 @@
+exception Empty = Queue_intf.Empty
+
+type 'a queue = { mutable front : 'a list; mutable back : 'a list; mutable size : int }
+
+let create () = { front = []; back = []; size = 0 }
+
+let enq q x =
+  q.back <- x :: q.back;
+  q.size <- q.size + 1
+
+let deq q =
+  match q.front with
+  | x :: rest ->
+      q.front <- rest;
+      q.size <- q.size - 1;
+      x
+  | [] -> (
+      match List.rev q.back with
+      | [] -> raise Empty
+      | x :: rest ->
+          q.front <- rest;
+          q.back <- [];
+          q.size <- q.size - 1;
+          x)
+
+let deq_opt q = match deq q with x -> Some x | exception Empty -> None
+let length q = q.size
+let is_empty q = q.size = 0

@@ -1,0 +1,21 @@
+exception Empty = Queue_intf.Empty
+
+type 'a queue = { mutable items : 'a list; mutable size : int }
+
+let create () = { items = []; size = 0 }
+
+let enq q x =
+  q.items <- x :: q.items;
+  q.size <- q.size + 1
+
+let deq q =
+  match q.items with
+  | [] -> raise Empty
+  | x :: rest ->
+      q.items <- rest;
+      q.size <- q.size - 1;
+      x
+
+let deq_opt q = match deq q with x -> Some x | exception Empty -> None
+let length q = q.size
+let is_empty q = q.size = 0

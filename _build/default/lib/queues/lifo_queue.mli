@@ -1,0 +1,5 @@
+(** LIFO (stack) discipline.  Matching the paper's [QUEUE] signature with a
+    stack turns the thread scheduler into depth-first execution, which keeps
+    related threads hot in the cache at the cost of fairness. *)
+
+include Queue_intf.QUEUE_EXT

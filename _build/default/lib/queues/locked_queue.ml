@@ -1,0 +1,24 @@
+module Make (L : Mp.Mp_intf.LOCK) (Q : Queue_intf.QUEUE_EXT) = struct
+  exception Empty = Queue_intf.Empty
+
+  type 'a queue = { lock : L.mutex_lock; q : 'a Q.queue }
+
+  let create () = { lock = L.mutex_lock (); q = Q.create () }
+
+  let protected t f =
+    L.lock t.lock;
+    match f () with
+    | v ->
+        L.unlock t.lock;
+        v
+    | exception e ->
+        L.unlock t.lock;
+        raise e
+
+  let enq t x = protected t (fun () -> Q.enq t.q x)
+  let deq t = protected t (fun () -> Q.deq t.q)
+  let deq_opt t = protected t (fun () -> Q.deq_opt t.q)
+  let length t = protected t (fun () -> Q.length t.q)
+  let is_empty t = protected t (fun () -> Q.is_empty t.q)
+  let with_lock t f = protected t f
+end

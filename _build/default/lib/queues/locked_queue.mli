@@ -1,0 +1,13 @@
+(** Lock-protected queue wrapper.
+
+    Pairs any [QUEUE] discipline with any MP [LOCK], giving the
+    "ready queue protected by a mutex lock" pattern of the paper's Figure 3
+    as a reusable component. *)
+
+module Make (L : Mp.Mp_intf.LOCK) (Q : Queue_intf.QUEUE_EXT) : sig
+  include Queue_intf.QUEUE_EXT
+
+  val with_lock : 'a queue -> (unit -> 'b) -> 'b
+  (** Run a critical section under the queue's lock (for compound
+      operations such as drain-and-requeue). *)
+end

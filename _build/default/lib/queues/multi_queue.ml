@@ -1,0 +1,75 @@
+module Make (L : Mp.Mp_intf.LOCK) = struct
+  type 'a slot = { lock : L.mutex_lock; deque : 'a Deque.t }
+
+  type 'a t = {
+    slots : 'a slot array;
+    mutable rotor : int; (* round-robin cursor for push_global; racy by design *)
+    mutable steal_count : int;
+  }
+
+  let create ~procs =
+    if procs <= 0 then invalid_arg "Multi_queue.create";
+    {
+      slots =
+        Array.init procs (fun _ ->
+            { lock = L.mutex_lock (); deque = Deque.create () });
+      rotor = 0;
+      steal_count = 0;
+    }
+
+  let procs t = Array.length t.slots
+
+  let protected slot f =
+    L.lock slot.lock;
+    match f () with
+    | v ->
+        L.unlock slot.lock;
+        v
+    | exception e ->
+        L.unlock slot.lock;
+        raise e
+
+  let push t ~proc x =
+    let slot = t.slots.(proc) in
+    protected slot (fun () -> Deque.push_front slot.deque x)
+
+  let push_global t x =
+    let proc = t.rotor mod procs t in
+    t.rotor <- t.rotor + 1;
+    let slot = t.slots.(proc) in
+    protected slot (fun () -> Deque.push_back slot.deque x)
+
+  (* Peek the (racy) length before taking the lock: an empty-looking deque
+     is skipped without paying for a lock round-trip.  A stale non-zero
+     length only costs one wasted lock; a stale zero is corrected on the
+     next scan. *)
+  let take_local t ~proc =
+    let slot = t.slots.(proc) in
+    if Deque.is_empty slot.deque then None
+    else protected slot (fun () -> Deque.pop_front_opt slot.deque)
+
+  let steal t ~proc =
+    let n = procs t in
+    let rec scan i =
+      if i >= n then None
+      else
+        let victim = (proc + i) mod n in
+        let slot = t.slots.(victim) in
+        if Deque.is_empty slot.deque then scan (i + 1)
+        else
+          match protected slot (fun () -> Deque.pop_back_opt slot.deque) with
+          | Some _ as found ->
+              t.steal_count <- t.steal_count + 1;
+              found
+          | None -> scan (i + 1)
+    in
+    scan 1
+
+  let take t ~proc =
+    match take_local t ~proc with Some _ as x -> x | None -> steal t ~proc
+
+  let total_length t =
+    Array.fold_left (fun acc slot -> acc + Deque.length slot.deque) 0 t.slots
+
+  let steals t = t.steal_count
+end

@@ -1,0 +1,38 @@
+(** Distributed run queue with work stealing.
+
+    The paper's evaluation thread package adds "a distributed run queue" to
+    the Figure-3 design; this is that substrate.  One lock-protected deque
+    per proc: the owner pushes/pops at the front, and when its own deque is
+    empty it steals from the back of a victim's deque, scanning victims in a
+    rotating order from a per-proc starting point to avoid convoying. *)
+
+module Make (L : Mp.Mp_intf.LOCK) : sig
+  type 'a t
+
+  val create : procs:int -> 'a t
+
+  val procs : 'a t -> int
+
+  val push : 'a t -> proc:int -> 'a -> unit
+  (** Push onto [proc]'s own queue (newest first). *)
+
+  val push_global : 'a t -> 'a -> unit
+  (** Push onto the queue of a rotating proc — used by producers with no
+      proc affinity. *)
+
+  val take : 'a t -> proc:int -> 'a option
+  (** Pop from [proc]'s own queue, or steal from a victim; [None] when every
+      queue is empty. *)
+
+  val take_local : 'a t -> proc:int -> 'a option
+  (** Pop from [proc]'s own queue only. *)
+
+  val steal : 'a t -> proc:int -> 'a option
+  (** Steal from some other proc's queue only. *)
+
+  val total_length : 'a t -> int
+  (** Approximate total enqueued items (racy snapshot). *)
+
+  val steals : 'a t -> int
+  (** Number of successful steals so far. *)
+end

@@ -1,0 +1,36 @@
+exception Empty = Queue_intf.Empty
+
+type 'a queue = {
+  mutable items : 'a array;
+  mutable size : int;
+  rng : Random.State.t;
+}
+
+let create_seeded seed =
+  { items = [||]; size = 0; rng = Random.State.make [| seed |] }
+
+let create () = create_seeded 0
+
+let grow q =
+  let cap = max 8 (2 * Array.length q.items) in
+  let items = Array.make cap q.items.(0) in
+  Array.blit q.items 0 items 0 q.size;
+  q.items <- items
+
+let enq q x =
+  if q.size = 0 && Array.length q.items = 0 then q.items <- Array.make 8 x;
+  if q.size = Array.length q.items then grow q;
+  q.items.(q.size) <- x;
+  q.size <- q.size + 1
+
+let deq q =
+  if q.size = 0 then raise Empty;
+  let i = Random.State.int q.rng q.size in
+  let x = q.items.(i) in
+  q.size <- q.size - 1;
+  q.items.(i) <- q.items.(q.size);
+  x
+
+let deq_opt q = match deq q with x -> Some x | exception Empty -> None
+let length q = q.size
+let is_empty q = q.size = 0

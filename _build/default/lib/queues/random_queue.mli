@@ -1,0 +1,9 @@
+(** Randomized discipline: [deq] removes a uniformly random element.
+    The paper names randomized queues as a valid [QUEUE] instance; a
+    randomized ready queue gives probabilistic fairness and breaks pathological
+    convoy patterns.  Deterministic given the seed. *)
+
+include Queue_intf.QUEUE_EXT
+
+val create_seeded : int -> 'a queue
+(** Like [create] but with an explicit PRNG seed ([create] uses seed 0). *)

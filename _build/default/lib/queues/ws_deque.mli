@@ -1,0 +1,24 @@
+(** Lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005).
+
+    Single-owner/multi-thief: only the owning proc may [push]/[pop] (LIFO
+    end); any proc may [steal] (FIFO end).  Built on [Atomic] with a
+    growable circular buffer; the paper-era alternative to the
+    lock-protected deques of {!Multi_queue}, provided for the real-domains
+    backend where lock-free stealing avoids a bus transaction per empty
+    probe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only. *)
+
+val pop : 'a t -> 'a option
+(** Owner only: newest element. *)
+
+val steal : 'a t -> 'a option
+(** Any thread: oldest element; [None] when empty or a race was lost. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the number of elements. *)

@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Array Format Hashtbl List Loc_count Mp Printf Random Render Sim Workloads

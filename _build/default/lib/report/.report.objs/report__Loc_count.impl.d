@@ -1,0 +1,1 @@
+lib/report/loc_count.ml: Array Filename Format Hashtbl List Render Sys

@@ -1,0 +1,1 @@
+lib/report/loc_count.mli: Format

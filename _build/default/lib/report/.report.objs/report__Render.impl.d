@@ -1,0 +1,1 @@
+lib/report/render.ml: Array Char Format List Printf String

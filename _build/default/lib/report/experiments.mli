@@ -1,0 +1,48 @@
+(** Experiment drivers: everything needed to regenerate the paper's
+    evaluation (see DESIGN.md's per-experiment index E1–E7).
+
+    The sweeps run the five Figure-6 benchmarks plus [seq] on the simulated
+    Sequent Symmetry (and the SGI model for E7), collect per-run statistics,
+    and verify every parallel result against the sequential reference
+    implementations. *)
+
+type sample = {
+  machine : string;  (** "sequent" or "sgi" *)
+  bench : string;
+  procs : int;
+  elapsed : float;  (** virtual seconds *)
+  gc : float;
+  gc_count : int;
+  idle : float;  (** mean idle fraction *)
+  bus_mb : float;  (** bus traffic MB/s *)
+  bus_util : float;
+  spins : int;
+  alloc_words : int;
+  checksum : int;
+  verified : bool;  (** checksum matches the sequential reference *)
+}
+
+val default_procs : int list
+(** 1, 2, 4, 6, 8, 10, 12, 14, 16 — Figure 6's x axis. *)
+
+val sequent_sweep : ?plist:int list -> unit -> sample list
+(** Full sweep on the 16-processor Sequent model (cached after first call). *)
+
+val sgi_sweep : ?plist:int list -> unit -> sample list
+(** Sweep on the 8-processor SGI model (cached). *)
+
+val speedup : sample list -> bench:string -> procs:int -> float
+(** Self-relative speedup vs the 1-proc sample of the same benchmark. *)
+
+val speedup_no_gc : sample list -> bench:string -> procs:int -> float
+(** Speedup with collection time excluded from both runs (E6). *)
+
+(* Section printers (E-numbers from DESIGN.md). *)
+
+val print_fig6 : Format.formatter -> sample list -> unit
+val print_idle : Format.formatter -> sample list -> unit
+val print_bus : Format.formatter -> sample list -> unit
+val print_gc_ablation : Format.formatter -> sample list -> unit
+val print_lock_latency : Format.formatter -> unit
+val print_portability : Format.formatter -> unit
+val print_sgi : Format.formatter -> sample list -> unit

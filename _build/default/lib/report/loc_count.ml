@@ -1,0 +1,94 @@
+type entry = { component : string; kind : string; files : int; lines : int }
+
+let count_lines path =
+  let ic = open_in path in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let classify dir file =
+  match dir with
+  | "mp" -> (
+      match file with
+      | "mp_uniproc.ml" | "mp_uniproc.mli" ->
+          ("backend: uniprocessor", "system-dependent")
+      | "mp_domains.ml" | "mp_domains.mli" ->
+          ("backend: domains (kernel threads)", "system-dependent")
+      | _ -> ("mp platform (generic)", "generic"))
+  | "sim" -> ("backend: simulated multiprocessor", "system-dependent")
+  | "locks" -> ("lock algorithms", "generic")
+  | "queues" -> ("queue disciplines", "generic")
+  | "threads" -> ("thread packages", "client")
+  | "select" -> ("selective communication", "client")
+  | "cml" -> ("CML prototype", "client")
+  | "sync" -> ("synchronization constructs", "client")
+  | "workloads" -> ("benchmarks", "client")
+  | "report" -> ("reporting/harness", "harness")
+  | "model" -> ("analytic model", "harness")
+  | other -> (other, "other")
+
+let scan ~root =
+  let lib = Filename.concat root "lib" in
+  let acc = Hashtbl.create 16 in
+  let add component kind lines =
+    let key = (component, kind) in
+    let files0, lines0 =
+      match Hashtbl.find_opt acc key with Some v -> v | None -> (0, 0)
+    in
+    Hashtbl.replace acc key (files0 + 1, lines0 + lines)
+  in
+  if Sys.file_exists lib && Sys.is_directory lib then
+    Array.iter
+      (fun dir ->
+        let dpath = Filename.concat lib dir in
+        if Sys.is_directory dpath then
+          Array.iter
+            (fun file ->
+              if Filename.check_suffix file ".ml" || Filename.check_suffix file ".mli"
+              then begin
+                let component, kind = classify dir file in
+                add component kind (count_lines (Filename.concat dpath file))
+              end)
+            (Sys.readdir dpath))
+      (Sys.readdir lib);
+  Hashtbl.fold
+    (fun (component, kind) (files, lines) out ->
+      { component; kind; files; lines } :: out)
+    acc []
+  |> List.sort (fun a b ->
+         compare (a.kind, a.component) (b.kind, b.component))
+
+let find_root () =
+  let rec up dir n =
+    if n > 6 then None
+    else if Sys.file_exists (Filename.concat dir "dune-project") then Some dir
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else up parent (n + 1)
+  in
+  up (Sys.getcwd ()) 0
+
+let print fmt entries =
+  let total = List.fold_left (fun acc e -> acc + e.lines) 0 entries in
+  let dep =
+    List.fold_left
+      (fun acc e -> if e.kind = "system-dependent" then acc + e.lines else acc)
+      0 entries
+  in
+  Render.table fmt
+    ~header:[ "component"; "kind"; "files"; "lines" ]
+    ~rows:
+      (List.map
+         (fun e ->
+           [ e.component; e.kind; string_of_int e.files; string_of_int e.lines ])
+         entries);
+  Format.fprintf fmt
+    "@.total %d lines; system-dependent (per-backend) %d lines (%.1f%%)@."
+    total dep
+    (100. *. float_of_int dep /. float_of_int (max 1 total))

@@ -1,0 +1,22 @@
+(** Source-line inventory — the analog of the paper's §6 portability
+    evaluation, which counts "the number of lines of code (including
+    whitespace and comments) that make up the system-dependent routines of
+    each MP implementation" against the whole runtime.
+
+    In this reproduction the "ports" are the MP backends: the trivial
+    uniprocessor, the OCaml-domains backend (kernel threads), and the
+    simulated Sequent/SGI.  Everything else — thread packages, channels,
+    CML, synchronization, workloads — is system-independent, exactly the
+    paper's point. *)
+
+type entry = { component : string; kind : string; files : int; lines : int }
+
+val scan : root:string -> entry list
+(** Count the lines of every [.ml]/[.mli] file under [root]'s [lib/],
+    grouped into components with a generic/backend classification. *)
+
+val find_root : unit -> string option
+(** Locate the project root (directory containing [dune-project]) from the
+    current working directory upward. *)
+
+val print : Format.formatter -> entry list -> unit

@@ -1,0 +1,39 @@
+(** CSP-style selective communication — the paper's Figures 4 and 5.
+
+    Dynamically created polymorphic channels; [send] blocks until a receiver
+    takes the value; [receive] takes a list of channels and
+    nondeterministically receives from one of them.  The commit protocol is
+    the paper's: each receiver carries a [committed] mutex lock that the
+    winning sender claims with [try_lock]; a receiver that cannot claim its
+    own lock has already been served and abandons its attempt.
+
+    One deliberate fix to Figure 5 as printed: when a receiver dequeues a
+    blocked sender but then loses the race for its own [committed] lock, the
+    figure drops that sender on the floor (it would block forever); we
+    re-enqueue it before dispatching.
+
+    The channel scan order is pseudo-random as in the paper ("loop through
+    the channels in pseudo-random order"); it is deterministic per seed. *)
+
+module Make
+    (P : Mp.Mp_intf.PLATFORM_INT)
+    (S : Mpthreads.Thread_intf.SCHED)
+    (Q : Queues.Queue_intf.QUEUE_EXT) : sig
+  type 'a chan
+
+  val chan : unit -> 'a chan
+
+  val send : 'a chan * 'a -> unit
+  (** Send a value, blocking until some receiver takes it. *)
+
+  val receive : 'a chan list -> 'a
+  (** Receive a value from one of the channels, blocking until a sender on
+      one of them commits to this receiver. *)
+
+  val set_seed : int -> unit
+  (** Reseed the pseudo-random channel scan (test determinism). *)
+
+  val pending : 'a chan -> int * int
+  (** (blocked senders, parked receiver records) — introspection for tests;
+      receiver records may be stale (already committed elsewhere). *)
+end

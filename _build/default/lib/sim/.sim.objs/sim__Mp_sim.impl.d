@@ -1,0 +1,1 @@
+lib/sim/mp_sim.ml: Array Buffer Engine Float Fun Mp Mp_intf Printf Sim_config Sim_trace Stats Sys

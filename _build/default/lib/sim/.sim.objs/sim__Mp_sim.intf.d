@@ -1,0 +1,1 @@
+lib/sim/mp_sim.mli: Mp Sim_config Sim_trace

@@ -1,0 +1,518 @@
+open Mp
+
+(* Scheduler directive: the suspend body has already re-queued (or freed)
+   the current proc; return control to the simulation loop. *)
+type Engine.action += A_yield
+
+module Make
+    (C : sig
+      val config : Sim_config.t
+    end)
+    (D : Mp.Mp_intf.DATUM) =
+struct
+  let config = C.config
+  let name = "sim:" ^ config.name
+
+  module Kont = struct
+    type 'a cont = 'a Engine.cont
+
+    let callcc = Engine.callcc
+    let throw = Engine.throw
+    let throw_exn = Engine.throw_exn
+  end
+
+  type pstate =
+    | Free
+    | Ready of Engine.action
+    | Current
+    | Gc_waiting of Engine.action
+
+  type sproc = {
+    id : int;
+    mutable clock : int;
+    mutable state : pstate;
+    mutable datum : D.t;
+    mutable busy : int;
+    mutable idle : int;
+    mutable gc_wait : int;
+    mutable spins : int;
+    mutable alloc_words : int;
+  }
+
+  let fresh_proc id =
+    {
+      id;
+      clock = 0;
+      state = Free;
+      datum = D.initial;
+      busy = 0;
+      idle = 0;
+      gc_wait = 0;
+      spins = 0;
+      alloc_words = 0;
+    }
+
+  let procs = Array.init config.procs fresh_proc
+  let current = ref 0
+  let cur () = procs.(!current)
+  let bus_free_at = ref 0
+  let bus_busy = ref 0
+  let bus_total_bytes = ref 0
+  let region_used = ref 0
+  let gc_pending = ref false
+  let gc_count = ref 0
+  let gc_cycles_total = ref 0
+  let max_clock = ref 0
+  let escaped : exn option ref = ref None
+  let poll_hook = ref (fun () -> ())
+  let running = ref false
+  let trace : Sim_trace.t option ref = ref None
+
+  let trace_event e =
+    match !trace with Some t -> Sim_trace.record t e | None -> ()
+
+  let observe_clock n = if n > !max_clock then max_clock := n
+
+  (* ------------------------------------------------------------------ *)
+  (* Fiber-side charging primitives.                                    *)
+  (* ------------------------------------------------------------------ *)
+
+  let yield_ready p c =
+    p.state <- Ready (Engine.Resume (c, ()));
+    A_yield
+
+  let charge_busy n =
+    if n > 0 then
+      Engine.suspend (fun c ->
+          let p = cur () in
+          p.clock <- p.clock + n;
+          p.busy <- p.busy + n;
+          observe_clock p.clock;
+          yield_ready p c)
+
+  let charge_idle n =
+    if n > 0 then
+      Engine.suspend (fun c ->
+          let p = cur () in
+          p.clock <- p.clock + n;
+          p.idle <- p.idle + n;
+          observe_clock p.clock;
+          yield_ready p c)
+
+  (* FCFS shared bus: runs inside a suspend body, advances [p] past the end
+     of its transfer.  Queueing stall counts as busy time (the proc is
+     stalled on memory, not idle). *)
+  let bus_transfer p bytes =
+    let dur =
+      max 1 (int_of_float (float_of_int bytes /. config.bus_bytes_per_cycle))
+    in
+    let start = max p.clock !bus_free_at in
+    let stall = start - p.clock in
+    p.clock <- start + dur;
+    p.busy <- p.busy + stall + dur;
+    bus_free_at := p.clock;
+    bus_busy := !bus_busy + dur;
+    bus_total_bytes := !bus_total_bytes + bytes;
+    observe_clock p.clock
+
+  (* Allocation is spread over the computation it belongs to: one suspend
+     per small slice, so bus occupancy interleaves with other procs instead
+     of arriving as one long FCFS burst. *)
+  let alloc_slice_words = 256
+
+  let alloc_one_slice words =
+    if words > 0 then
+      Engine.suspend (fun c ->
+        let p = cur () in
+        let cpu =
+          int_of_float (config.alloc_cycles_per_word *. float_of_int words)
+        in
+        p.clock <- p.clock + cpu;
+        p.busy <- p.busy + cpu;
+        bus_transfer p (words * config.word_bytes);
+        p.alloc_words <- p.alloc_words + words;
+        region_used := !region_used + words;
+        if !region_used >= config.gc_region_words then gc_pending := true;
+        yield_ready p c)
+
+  let alloc_impl words =
+    let remaining = ref words in
+    while !remaining > 0 do
+      let slice = min !remaining alloc_slice_words in
+      alloc_one_slice slice;
+      remaining := !remaining - slice
+    done
+
+  (* ------------------------------------------------------------------ *)
+  (* Simulation loop.                                                    *)
+  (* ------------------------------------------------------------------ *)
+
+  let on_exn e =
+    if !escaped = None then escaped := Some e;
+    Engine.Stop
+
+  let exec_action = function
+    | Engine.Resume (c, v) -> Engine.resume c v
+    | Engine.Raise (c, e) -> Engine.resume_exn c e
+    | Engine.Start f -> Engine.run_fiber ~on_exn f
+    | _ -> raise Engine.Unhandled_action
+
+  (* Run one proc from its pending action until it yields back. *)
+  let interp p action =
+    let a = ref action in
+    let live = ref true in
+    while !live do
+      match !a with
+      | Engine.Stop ->
+          p.state <- Free;
+          live := false
+      | A_yield -> live := false
+      | other -> a := exec_action other
+    done
+
+  let run_gc () =
+    let gc_started_region = !region_used in
+    let gc_start =
+      Array.fold_left
+        (fun acc p ->
+          match p.state with Gc_waiting _ -> max acc p.clock | _ -> acc)
+        0 procs
+    in
+    let copied =
+      int_of_float (config.gc_survival *. float_of_int !region_used)
+    in
+    let waiters =
+      Array.fold_left
+        (fun acc p -> match p.state with Gc_waiting _ -> acc + 1 | _ -> acc)
+        0 procs
+    in
+    let par = Float.min config.gc_parallelism (float_of_int (max 1 waiters)) in
+    let dur =
+      config.gc_fixed_cycles
+      + int_of_float (config.gc_cycles_per_word *. float_of_int copied /. par)
+    in
+    let finish = gc_start + dur in
+    trace_event (Sim_trace.Gc_start { clock = gc_start; region_words = gc_started_region });
+    Array.iter
+      (fun p ->
+        match p.state with
+        | Gc_waiting pending ->
+            p.gc_wait <- p.gc_wait + (finish - p.clock);
+            p.clock <- finish;
+            p.state <- Ready pending
+        | Free | Ready _ | Current -> ())
+      procs;
+    observe_clock finish;
+    trace_event (Sim_trace.Gc_end { clock = finish; duration = dur });
+    gc_cycles_total := !gc_cycles_total + dur;
+    incr gc_count;
+    region_used := 0;
+    gc_pending := false
+
+  let pick_min_ready () =
+    let best = ref None in
+    Array.iter
+      (fun p ->
+        match p.state with
+        | Ready _ -> (
+            match !best with
+            | Some b when b.clock <= p.clock -> ()
+            | _ -> best := Some p)
+        | Free | Current | Gc_waiting _ -> ())
+      procs;
+    !best
+
+  let any_gc_waiting () =
+    Array.exists (fun p -> match p.state with Gc_waiting _ -> true | _ -> false) procs
+
+  (* Real-time watchdog for debugging client deadlocks: dump proc states if
+     the simulation makes this many scheduling decisions without finishing. *)
+  let debug_iterations =
+    match Sys.getenv_opt "MP_SIM_DEBUG_ITERS" with
+    | Some v -> int_of_string_opt v
+    | None -> None
+
+  let iter_count = ref 0
+
+  let dump_states () =
+    let b = Buffer.create 256 in
+    Array.iter
+      (fun p ->
+        Buffer.add_string b
+          (Printf.sprintf "proc %d clock=%d state=%s\n" p.id p.clock
+             (match p.state with
+             | Free -> "Free"
+             | Ready _ -> "Ready"
+             | Current -> "Current"
+             | Gc_waiting _ -> "Gc_waiting")))
+      procs;
+    Buffer.add_string b
+      (Printf.sprintf "region=%d gc_pending=%b bus_free_at=%d\n" !region_used
+         !gc_pending !bus_free_at);
+    Buffer.contents b
+
+  let rec loop () =
+    (match debug_iterations with
+    | Some n ->
+        incr iter_count;
+        if !iter_count mod n = 0 then
+          prerr_string (Printf.sprintf "[sim after %d decisions]\n%s" !iter_count (dump_states ()))
+    | None -> ());
+    match pick_min_ready () with
+    | Some p ->
+        if !gc_pending then begin
+          (match p.state with
+          | Ready a -> p.state <- Gc_waiting a
+          | Free | Current | Gc_waiting _ -> assert false);
+          loop ()
+        end
+        else begin
+          let a = match p.state with Ready a -> a | _ -> assert false in
+          p.state <- Current;
+          current := p.id;
+          (if !trace <> None then
+             trace_event (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
+          interp p a;
+          (if !trace <> None && p.state = Free then
+             trace_event (Sim_trace.Freed { proc = p.id; clock = p.clock }));
+          loop ()
+        end
+    | None ->
+        if any_gc_waiting () then begin
+          (* Barrier complete: every non-free proc is parked at a clean
+             point.  (Also reached when gc_pending was consumed but stragglers
+             remain parked — run_gc releases them.) *)
+          run_gc ();
+          loop ()
+        end
+    (* else: all procs free — simulation over *)
+
+  (* ------------------------------------------------------------------ *)
+  (* Platform interface.                                                 *)
+  (* ------------------------------------------------------------------ *)
+
+  module Proc = struct
+    type proc_datum = D.t
+    type proc_state = PS of unit Engine.cont * proc_datum
+
+    exception No_More_Procs = Mp_intf.No_More_Procs
+
+    let acquire_proc (PS (cont, datum)) =
+      let ok =
+        Engine.suspend (fun c ->
+            let p = cur () in
+            p.clock <- p.clock + config.acquire_proc_cycles;
+            p.busy <- p.busy + config.acquire_proc_cycles;
+            observe_clock p.clock;
+            let free = Array.find_opt (fun q -> q.state = Free && q.id <> p.id) procs in
+            match free with
+            | Some q ->
+                q.datum <- datum;
+                let start = max q.clock p.clock in
+                q.idle <- q.idle + (start - q.clock);
+                q.clock <- start;
+                q.state <- Ready (Engine.Resume (cont, ()));
+                trace_event
+                  (Sim_trace.Acquired { proc = q.id; by = p.id; clock = p.clock });
+                p.state <- Ready (Engine.Resume (c, true));
+                A_yield
+            | None ->
+                p.state <- Ready (Engine.Resume (c, false));
+                A_yield)
+      in
+      if not ok then raise No_More_Procs
+
+    let release_proc () =
+      Engine.suspend (fun _ ->
+          (cur ()).state <- Free;
+          A_yield)
+
+    let initial_datum = D.initial
+    let get_datum () = (cur ()).datum
+    let set_datum d = (cur ()).datum <- d
+    let self () = !current
+    let max_procs () = config.procs
+
+    let live_procs () =
+      Array.fold_left
+        (fun acc p -> if p.state = Free then acc else acc + 1)
+        0 procs
+  end
+
+  module Lock = struct
+    type mutex_lock = { mutable held : bool }
+
+    let mutex_lock () = { held = false }
+
+    (* Charge the probe first (a suspension point), then test-and-set with
+       no intervening suspension — atomic in virtual time. *)
+    let try_lock l =
+      Engine.suspend (fun c ->
+          let p = cur () in
+          p.clock <- p.clock + config.try_lock_cycles;
+          p.busy <- p.busy + config.try_lock_cycles;
+          bus_transfer p config.lock_bus_bytes;
+          yield_ready p c);
+      if l.held then begin
+        let p = cur () in
+        p.spins <- p.spins + 1;
+        false
+      end
+      else begin
+        l.held <- true;
+        true
+      end
+
+    (* Deterministic per-proc, per-attempt jitter on the retry delay breaks
+       the phase-locking that a fixed period can produce under the
+       deterministic min-clock scheduler (a spinning proc could otherwise
+       probe forever exactly inside other procs' hold windows). *)
+    let lock l =
+      let attempt = ref 0 in
+      while not (try_lock l) do
+        incr attempt;
+        charge_busy
+          (config.spin_retry_cycles
+          + (((!current * 37) + (!attempt * 13)) mod 101))
+      done
+
+    let unlock l =
+      Engine.suspend (fun c ->
+          let p = cur () in
+          p.clock <- p.clock + config.unlock_cycles;
+          p.busy <- p.busy + config.unlock_cycles;
+          bus_transfer p config.lock_bus_bytes;
+          yield_ready p c);
+      l.held <- false
+  end
+
+  module Work = struct
+    let charge n = charge_busy n
+    let alloc ~words = alloc_impl words
+
+    let traffic ~bytes =
+      if bytes > 0 then
+        Engine.suspend (fun c ->
+            let p = cur () in
+            bus_transfer p bytes;
+            yield_ready p c)
+
+    (* Interleave compute and allocation slices so the generated bus
+       traffic is spread across the work, as real allocation is. *)
+    let step ?alloc_words ~instrs () =
+      let words =
+        match alloc_words with Some w -> w | None -> instrs / 5
+      in
+      let cycles = int_of_float (float_of_int instrs *. config.cpi) in
+      let slices = max 1 ((words + alloc_slice_words - 1) / alloc_slice_words) in
+      let cyc_per = cycles / slices and w_per = words / slices in
+      for i = 1 to slices do
+        charge_busy (if i = 1 then cycles - (cyc_per * (slices - 1)) else cyc_per);
+        alloc_one_slice (if i = 1 then words - (w_per * (slices - 1)) else w_per)
+      done;
+      !poll_hook ()
+
+    let poll () = !poll_hook ()
+    let set_poll_hook f = poll_hook := f
+    let idle () = charge_idle config.idle_quantum_cycles
+    let now () = Sim_config.cycles_to_seconds config (cur ()).clock
+  end
+
+  let reset () =
+    Array.iteri
+      (fun i p ->
+        let f = fresh_proc i in
+        p.clock <- f.clock;
+        p.state <- Free;
+        p.datum <- D.initial;
+        p.busy <- 0;
+        p.idle <- 0;
+        p.gc_wait <- 0;
+        p.spins <- 0;
+        p.alloc_words <- 0)
+      procs;
+    bus_free_at := 0;
+    bus_busy := 0;
+    bus_total_bytes := 0;
+    region_used := 0;
+    gc_pending := false;
+    gc_count := 0;
+    gc_cycles_total := 0;
+    max_clock := 0;
+    escaped := None;
+    poll_hook := (fun () -> ())
+
+  let run f =
+    if !running then invalid_arg "Mp_sim.run: already running";
+    running := true;
+    reset ();
+    let result = ref None in
+    procs.(0).state <-
+      Ready (Engine.Start (fun () -> result := Some (f ())));
+    current := 0;
+    Fun.protect
+      ~finally:(fun () -> running := false)
+      (fun () ->
+        loop ();
+        match (!result, !escaped) with
+        | Some v, None -> v
+        | _, Some e -> raise e
+        | None, None ->
+            raise
+              (Mp_intf.Deadlock
+                 "sim: all procs released without producing a result"))
+
+  let stats () =
+    let t = Stats.zero ~platform:name ~procs:config.procs in
+    let secs = Sim_config.cycles_to_seconds config in
+    Array.iteri
+      (fun i p ->
+        let s = t.per_proc.(i) in
+        s.busy <- secs p.busy;
+        s.idle <- secs p.idle;
+        s.gc_wait <- secs p.gc_wait;
+        s.lock_spins <- p.spins;
+        s.alloc_words <- p.alloc_words)
+      procs;
+    {
+      t with
+      elapsed = secs !max_clock;
+      gc_time = secs !gc_cycles_total;
+      gc_count = !gc_count;
+      bus_busy = secs !bus_busy;
+      bus_bytes = !bus_total_bytes;
+    }
+
+  let reset_stats () = reset ()
+
+  module Machine = struct
+    let config = config
+    let makespan_cycles () = !max_clock
+    let gc_cycles () = !gc_cycles_total
+    let gc_collections () = !gc_count
+    let bus_bytes () = !bus_total_bytes
+    let bus_busy_cycles () = !bus_busy
+    let elapsed_seconds () = Sim_config.cycles_to_seconds config !max_clock
+
+    let gc_excluded_seconds () =
+      Sim_config.cycles_to_seconds config (!max_clock - !gc_cycles_total)
+
+    let bus_mb_per_sec () =
+      let secs = elapsed_seconds () in
+      if secs <= 0. then 0.
+      else float_of_int !bus_total_bytes /. 1.0e6 /. secs
+
+    let enable_trace ?(capacity = 4096) () =
+      trace := Some (Sim_trace.create ~capacity)
+
+    let disable_trace () = trace := None
+    let trace () = !trace
+  end
+end
+
+module Int
+    (C : sig
+      val config : Sim_config.t
+    end)
+    () =
+  Make (C) (Mp_intf.Int_datum)

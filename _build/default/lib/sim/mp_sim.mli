@@ -1,0 +1,80 @@
+(** MP backend over a deterministic simulated shared-memory multiprocessor.
+
+    This is the substitute for the paper's evaluation hardware (a
+    16-processor Sequent Symmetry S81 and an SGI 4D/380S), which this
+    reproduction cannot access.  Procs are virtual processors with per-proc
+    cycle clocks, multiplexed as fibers over one OCaml domain and scheduled
+    lowest-clock-first (deterministic).  The model charges exactly the
+    resources §6 of the paper identifies as the performance limiters:
+
+    {ul
+    {- a shared FCFS memory bus of finite bandwidth, loaded by heap
+       allocation (SML/NJ's ≈1 word per 3–7 instructions) and lock RMWs;}
+    {- stop-the-world, {e sequential} two-generation copying collection:
+       procs synchronize at clean points (their charge boundaries), one proc
+       collects while the others wait (§5);}
+    {- spinning mutex locks whose probes cost CPU cycles and bus traffic;}
+    {- idle time, accounted whenever a proc polls for work.}}
+
+    Client code runs for real (results are computed exactly); only {e time}
+    is virtual, advanced by [Work.step]/[Work.charge]/[Work.alloc] and by
+    the platform's own lock/proc operations.  Simulated [Lock] and [Work]
+    operations must be called from client (fiber) code, never from an
+    [Engine.suspend] body. *)
+
+module Make (C : sig
+  val config : Sim_config.t
+end)
+(D : Mp.Mp_intf.DATUM) : sig
+  include Mp.Mp_intf.PLATFORM with type Proc.proc_datum = D.t
+
+  (** Simulator-specific introspection. *)
+  module Machine : sig
+    val config : Sim_config.t
+
+    val makespan_cycles : unit -> int
+    (** Largest virtual clock reached in the last [run]. *)
+
+    val gc_cycles : unit -> int
+    val gc_collections : unit -> int
+    val bus_bytes : unit -> int
+    val bus_busy_cycles : unit -> int
+    val elapsed_seconds : unit -> float
+
+    val gc_excluded_seconds : unit -> float
+    (** Makespan minus total (serial) collection time: the paper's
+        "if garbage collection time were omitted" ablation (E6). *)
+
+    val bus_mb_per_sec : unit -> float
+    (** Mean bus traffic of the last run in MB/s (E5). *)
+
+    val enable_trace : ?capacity:int -> unit -> unit
+    (** Record scheduling/GC/proc events into a bounded ring (survives
+        across [run]s until {!disable_trace}).  Deterministic. *)
+
+    val disable_trace : unit -> unit
+    val trace : unit -> Sim_trace.t option
+  end
+end
+
+module Int (C : sig
+  val config : Sim_config.t
+end)
+() : sig
+  include Mp.Mp_intf.PLATFORM_INT
+
+  module Machine : sig
+    val config : Sim_config.t
+    val makespan_cycles : unit -> int
+    val gc_cycles : unit -> int
+    val gc_collections : unit -> int
+    val bus_bytes : unit -> int
+    val bus_busy_cycles : unit -> int
+    val elapsed_seconds : unit -> float
+    val gc_excluded_seconds : unit -> float
+    val bus_mb_per_sec : unit -> float
+    val enable_trace : ?capacity:int -> unit -> unit
+    val disable_trace : unit -> unit
+    val trace : unit -> Sim_trace.t option
+  end
+end

@@ -1,0 +1,78 @@
+type t = {
+  name : string;
+  procs : int;
+  mhz : float;
+  cpi : float;
+  word_bytes : int;
+  bus_bytes_per_cycle : float;
+  alloc_cycles_per_word : float;
+  try_lock_cycles : int;
+  unlock_cycles : int;
+  lock_bus_bytes : int;
+  spin_retry_cycles : int;
+  idle_quantum_cycles : int;
+  gc_region_words : int;
+  gc_survival : float;
+  gc_cycles_per_word : float;
+  gc_fixed_cycles : int;
+  gc_parallelism : float;
+  acquire_proc_cycles : int;
+}
+
+(* Sequent Symmetry S81: 16 MHz 80386s; 25 MB/s usable bus; MP mutex
+   lock+unlock = 46 us = 736 cycles at 16 MHz. *)
+let sequent ?(procs = 16) () =
+  {
+    name = "sequent";
+    procs;
+    mhz = 16.;
+    cpi = 4.5;
+    word_bytes = 4;
+    bus_bytes_per_cycle = 25.0e6 /. 16.0e6;
+    alloc_cycles_per_word = 2.0;
+    try_lock_cycles = 500;
+    unlock_cycles = 236;
+    lock_bus_bytes = 8;
+    spin_retry_cycles = 200;
+    idle_quantum_cycles = 2_000;
+    gc_region_words = 512 * 1024;
+    gc_survival = 0.03;
+    gc_cycles_per_word = 30.;
+    gc_fixed_cycles = 100_000;
+    gc_parallelism = 1.0;
+    acquire_proc_cycles = 10_000;
+  }
+
+(* SGI 4D/380S: 33 MHz R3000s (roughly 8x the per-processor throughput of
+   the 386 at ~1.2 CPI); bus only ~30 MB/s; lock+unlock = 6 us = 198 cycles. *)
+let sgi ?(procs = 8) () =
+  {
+    name = "sgi";
+    procs;
+    mhz = 33.;
+    cpi = 1.2;
+    word_bytes = 4;
+    bus_bytes_per_cycle = 30.0e6 /. 33.0e6;
+    alloc_cycles_per_word = 1.0;
+    try_lock_cycles = 130;
+    unlock_cycles = 68;
+    lock_bus_bytes = 8;
+    spin_retry_cycles = 60;
+    idle_quantum_cycles = 2_000;
+    gc_region_words = 512 * 1024;
+    gc_survival = 0.03;
+    gc_cycles_per_word = 10.;
+    gc_fixed_cycles = 60_000;
+    gc_parallelism = 1.0;
+    acquire_proc_cycles = 6_000;
+  }
+
+let with_parallel_gc c factor =
+  if factor < 1.0 then invalid_arg "Sim_config.with_parallel_gc";
+  { c with gc_parallelism = factor; name = c.name ^ "+pgc" }
+
+let cycles_to_seconds c n = float_of_int n /. (c.mhz *. 1.0e6)
+let seconds_to_cycles c s = int_of_float (s *. c.mhz *. 1.0e6)
+
+let lock_pair_microseconds c =
+  float_of_int (c.try_lock_cycles + c.unlock_cycles) /. c.mhz

@@ -1,0 +1,52 @@
+(** Machine models for the simulated shared-memory multiprocessor.
+
+    Two presets reproduce the paper's evaluation hardware from the constants
+    the paper itself reports:
+
+    {ul
+    {- {!sequent}: the 16-processor Sequent Symmetry S81 — 16 MHz Intel
+       80386 processors, a shared bus with "maximum achievable bandwidth of
+       about 25 MB/sec", and MP mutex lock+unlock costing 46 µs.}
+    {- {!sgi}: the SGI 4D/380S — "much faster processors but only slightly
+       larger bus bandwidth" (≈30 MB/s), lock+unlock 6 µs.  On this machine
+       the paper found that "main-memory contention problems swamped all
+       other effects".}} *)
+
+type t = {
+  name : string;
+  procs : int;  (** physical processors *)
+  mhz : float;  (** clock: cycles per microsecond *)
+  cpi : float;  (** cycles per abstract workload instruction *)
+  word_bytes : int;
+  bus_bytes_per_cycle : float;  (** usable shared-bus bandwidth *)
+  alloc_cycles_per_word : float;  (** CPU cost of heap allocation *)
+  try_lock_cycles : int;  (** one test-and-set attempt *)
+  unlock_cycles : int;
+  lock_bus_bytes : int;  (** bus traffic of one lock RMW *)
+  spin_retry_cycles : int;  (** delay between spin probes *)
+  idle_quantum_cycles : int;  (** granularity of idle polling *)
+  gc_region_words : int;  (** shared allocation region before a GC *)
+  gc_survival : float;  (** fraction of the region live at collection *)
+  gc_cycles_per_word : float;  (** copy cost per surviving word *)
+  gc_fixed_cycles : int;  (** synchronization + redivision overhead *)
+  gc_parallelism : float;
+      (** effective speedup of the collection itself; 1.0 = the paper's
+          sequential collector, >1 models the concurrent collector its §7
+          lists as future work *)
+  acquire_proc_cycles : int;  (** OS cost of acquiring a proc (§3.1) *)
+}
+
+val sequent : ?procs:int -> unit -> t
+val sgi : ?procs:int -> unit -> t
+
+val with_parallel_gc : t -> float -> t
+(** Same machine with the collection itself parallelized by the given
+    factor (capped by the number of procs at the barrier) — the §7
+    "concurrent garbage collection" extension, for ablation. *)
+
+val cycles_to_seconds : t -> int -> float
+val seconds_to_cycles : t -> float -> int
+
+val lock_pair_microseconds : t -> float
+(** Modelled cost in µs of one uncontended lock+unlock pair — the paper's
+    footnote-4 microbenchmark (46 µs Sequent, 6 µs SGI). *)

@@ -1,0 +1,35 @@
+(** Bounded event trace for the simulated multiprocessor.
+
+    A fixed-capacity ring of timestamped events (proc dispatches, frees,
+    collections, proc acquisition) recorded by {!Mp_sim} when enabled.
+    Deterministic like everything else in the simulator; used by tests and
+    invaluable when a client deadlocks or livelocks (see the
+    MP_SIM_DEBUG_ITERS watchdog it complements). *)
+
+type event =
+  | Dispatch of { proc : int; clock : int }
+      (** the scheduler handed the proc to its pending action *)
+  | Freed of { proc : int; clock : int }  (** the proc was released *)
+  | Acquired of { proc : int; by : int; clock : int }
+  | Gc_start of { clock : int; region_words : int }
+  | Gc_end of { clock : int; duration : int }
+
+type t
+
+val create : capacity:int -> t
+val record : t -> event -> unit
+val clear : t -> unit
+
+val events : t -> event list
+(** Oldest first; at most [capacity] most recent events. *)
+
+val length : t -> int
+(** Events currently retained. *)
+
+val total_recorded : t -> int
+(** Events recorded since the last {!clear}, including overwritten ones. *)
+
+val clock_of : event -> int
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sync/sync.ml: Engine Kont_util List Mp Mpthreads Queues

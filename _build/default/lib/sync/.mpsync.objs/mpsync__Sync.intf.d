@@ -1,0 +1,1 @@
+lib/sync/sync.mli: Mp Mpthreads

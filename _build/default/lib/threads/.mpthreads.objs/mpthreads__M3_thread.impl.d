@@ -1,0 +1,1 @@
+lib/threads/m3_thread.ml: Engine Hashtbl List Mp Obj Queues Thread_intf

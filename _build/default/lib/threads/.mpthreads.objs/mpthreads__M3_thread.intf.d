@@ -1,0 +1,1 @@
+lib/threads/m3_thread.mli: Mp Thread_intf

@@ -1,0 +1,1 @@
+lib/threads/ml_threads.ml: Atomic Engine List Mp Queues Thread_intf

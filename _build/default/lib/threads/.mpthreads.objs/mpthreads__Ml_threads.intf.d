@@ -1,0 +1,1 @@
+lib/threads/ml_threads.mli: Mp Thread_intf

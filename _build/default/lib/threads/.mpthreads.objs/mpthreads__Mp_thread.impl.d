@@ -1,0 +1,1 @@
+lib/threads/mp_thread.ml: Engine Kont_util Mp Queues

@@ -1,0 +1,1 @@
+lib/threads/mp_thread.mli: Mp Queues Thread_intf

@@ -1,0 +1,1 @@
+lib/threads/preemptive_thread.ml: Mp Thread_intf

@@ -1,0 +1,1 @@
+lib/threads/preemptive_thread.mli: Mp Thread_intf

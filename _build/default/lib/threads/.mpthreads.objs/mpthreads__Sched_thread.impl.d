@@ -1,0 +1,1 @@
+lib/threads/sched_thread.ml: Array Atomic Engine Kont_util List Mp Mp_intf Queues

@@ -1,0 +1,1 @@
+lib/threads/sched_thread.mli: Mp Thread_intf

@@ -1,0 +1,1 @@
+lib/threads/thread_intf.ml: Mp

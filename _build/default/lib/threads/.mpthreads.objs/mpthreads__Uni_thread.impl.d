@@ -1,0 +1,1 @@
+lib/threads/uni_thread.ml: Engine Kont_util Mp Queues

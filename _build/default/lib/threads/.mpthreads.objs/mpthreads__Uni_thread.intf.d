@@ -1,0 +1,1 @@
+lib/threads/uni_thread.mli: Queues Thread_intf

@@ -1,0 +1,206 @@
+open Mp
+
+module Make (P : Mp.Mp_intf.PLATFORM_INT) (S : Thread_intf.SCHED) = struct
+  type waiter = unit Engine.cont * int
+
+  type 'a state = Running | Done of 'a | Raised of exn
+
+  exception Alerted
+
+  (* Modula-3 alerts: a per-thread flag plus, while the thread is blocked in
+     [Condition.wait]/[alert_wait], the condition it waits on (so [alert]
+     can wake it). *)
+  type alert_state = {
+    mutable alerted : bool;
+    mutable waiting_on : Obj.t option; (* the Condition.t, untyped to break
+                                          the recursion with Condition *)
+  }
+
+  let registry_lock = P.Lock.mutex_lock ()
+  let registry : (int, alert_state) Hashtbl.t = Hashtbl.create 64
+
+  let state_of tid =
+    P.Lock.lock registry_lock;
+    let st =
+      match Hashtbl.find_opt registry tid with
+      | Some st -> st
+      | None ->
+          let st = { alerted = false; waiting_on = None } in
+          Hashtbl.replace registry tid st;
+          st
+    in
+    P.Lock.unlock registry_lock;
+    st
+
+  let my_state () = state_of (S.id ())
+
+  type 'a t = {
+    spin : P.Lock.mutex_lock;
+    mutable state : 'a state;
+    mutable joiners : waiter list;
+    astate : alert_state; (* created at fork, adopted by the thread: alerts
+                             posted before the thread starts are not lost *)
+  }
+
+  let fork f =
+    let t =
+      {
+        spin = P.Lock.mutex_lock ();
+        state = Running;
+        joiners = [];
+        astate = { alerted = false; waiting_on = None };
+      }
+    in
+    S.fork (fun () ->
+        (* adopt the handle's alert state under this thread's id *)
+        P.Lock.lock registry_lock;
+        Hashtbl.replace registry (S.id ()) t.astate;
+        P.Lock.unlock registry_lock;
+        let outcome = try Done (f ()) with e -> Raised e in
+        P.Lock.lock t.spin;
+        t.state <- outcome;
+        let joiners = t.joiners in
+        t.joiners <- [];
+        P.Lock.unlock t.spin;
+        (* retire the alert state *)
+        P.Lock.lock registry_lock;
+        Hashtbl.remove registry (S.id ());
+        P.Lock.unlock registry_lock;
+        List.iter S.reschedule joiners);
+    t
+
+  let join t =
+    Engine.callcc (fun k ->
+        P.Lock.lock t.spin;
+        match t.state with
+        | Done _ | Raised _ ->
+            P.Lock.unlock t.spin;
+            Engine.throw k ()
+        | Running ->
+            t.joiners <- (k, S.id ()) :: t.joiners;
+            P.Lock.unlock t.spin;
+            S.dispatch ());
+    match t.state with
+    | Done v -> v
+    | Raised e -> raise e
+    | Running -> assert false
+
+  module Mutex = struct
+    type t = {
+      spin : P.Lock.mutex_lock;
+      mutable held : bool;
+      waiters : waiter Queues.Fifo_queue.queue;
+    }
+
+    let create () =
+      {
+        spin = P.Lock.mutex_lock ();
+        held = false;
+        waiters = Queues.Fifo_queue.create ();
+      }
+
+    let lock t =
+      Engine.callcc (fun k ->
+          P.Lock.lock t.spin;
+          if not t.held then begin
+            t.held <- true;
+            P.Lock.unlock t.spin;
+            Engine.throw k ()
+          end
+          else begin
+            Queues.Fifo_queue.enq t.waiters (k, S.id ());
+            P.Lock.unlock t.spin;
+            S.dispatch ()
+          end)
+
+    let unlock t =
+      P.Lock.lock t.spin;
+      match Queues.Fifo_queue.deq_opt t.waiters with
+      | Some w ->
+          (* Hand ownership directly to the next waiter: [held] stays true. *)
+          P.Lock.unlock t.spin;
+          S.reschedule w
+      | None ->
+          t.held <- false;
+          P.Lock.unlock t.spin
+
+    let with_lock t f =
+      lock t;
+      match f () with
+      | v ->
+          unlock t;
+          v
+      | exception e ->
+          unlock t;
+          raise e
+  end
+
+  module Condition = struct
+    type t = {
+      spin : P.Lock.mutex_lock;
+      waiters : waiter Queues.Fifo_queue.queue;
+    }
+
+    let create () =
+      { spin = P.Lock.mutex_lock (); waiters = Queues.Fifo_queue.create () }
+
+    let wait m t =
+      Engine.callcc (fun k ->
+          P.Lock.lock t.spin;
+          Queues.Fifo_queue.enq t.waiters (k, S.id ());
+          P.Lock.unlock t.spin;
+          Mutex.unlock m;
+          S.dispatch ());
+      Mutex.lock m
+
+    let signal t =
+      P.Lock.lock t.spin;
+      let w = Queues.Fifo_queue.deq_opt t.waiters in
+      P.Lock.unlock t.spin;
+      match w with Some w -> S.reschedule w | None -> ()
+
+    let broadcast t =
+      P.Lock.lock t.spin;
+      let rec drain acc =
+        match Queues.Fifo_queue.deq_opt t.waiters with
+        | Some w -> drain (w :: acc)
+        | None -> acc
+      in
+      let ws = drain [] in
+      P.Lock.unlock t.spin;
+      List.iter S.reschedule ws
+  end
+
+  (* ---- alerts (Modula-3 Thread.Alert / TestAlert / AlertWait) ---- *)
+
+  let test_alert () =
+    let st = my_state () in
+    if st.alerted then begin
+      st.alerted <- false;
+      true
+    end
+    else false
+
+  let alert (t : 'a t) =
+    let st = t.astate in
+    st.alerted <- true;
+    (* wake it if it is blocked on a condition *)
+    match st.waiting_on with
+    | Some c -> Condition.broadcast (Obj.obj c : Condition.t)
+    | None -> ()
+
+  let alert_wait m c =
+    let st = my_state () in
+    if st.alerted then begin
+      st.alerted <- false;
+      raise Alerted
+    end;
+    st.waiting_on <- Some (Obj.repr c);
+    Condition.wait m c;
+    st.waiting_on <- None;
+    if st.alerted then begin
+      st.alerted <- false;
+      (* Modula-3 semantics: the mutex is held when Alerted is raised *)
+      raise Alerted
+    end
+end

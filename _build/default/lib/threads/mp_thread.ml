@@ -1,0 +1,57 @@
+open Mp
+
+module Make (P : Mp.Mp_intf.PLATFORM_INT) (Queue : Queues.Queue_intf.QUEUE) =
+struct
+  let ready : (unit Engine.cont * int) Queue.queue = Queue.create ()
+  let ready_lock = P.Lock.mutex_lock ()
+  let next_id = ref 1
+  let next_id_lock = P.Lock.mutex_lock ()
+
+  let reschedule (cont, id) =
+    P.Lock.lock ready_lock;
+    Queue.enq ready (cont, id);
+    P.Lock.unlock ready_lock
+
+  let dispatch () =
+    P.Lock.lock ready_lock;
+    match Queue.deq ready with
+    | cont, id ->
+        P.Lock.unlock ready_lock;
+        P.Proc.set_datum id;
+        Engine.throw cont ()
+    | exception Queue.Empty ->
+        P.Lock.unlock ready_lock;
+        P.Proc.release_proc ()
+
+  let fork child =
+    Engine.callcc (fun parent ->
+        let current_id = P.Proc.get_datum () in
+        (try P.Proc.acquire_proc (P.Proc.PS (parent, current_id))
+         with P.Proc.No_More_Procs -> reschedule (parent, current_id));
+        P.Lock.lock next_id_lock;
+        P.Proc.set_datum !next_id;
+        next_id := !next_id + 1;
+        P.Lock.unlock next_id_lock;
+        child ();
+        dispatch ())
+
+  let yield () =
+    Engine.callcc (fun cont ->
+        reschedule (cont, P.Proc.get_datum ());
+        dispatch ())
+
+  let id () = P.Proc.get_datum ()
+  let reschedule_thread (k, v, id) = reschedule (Kont_util.unit_cont_of k v, id)
+
+  let reset () =
+    P.Lock.lock ready_lock;
+    (try
+       while true do
+         ignore (Queue.deq ready)
+       done
+     with Queue.Empty -> ());
+    P.Lock.unlock ready_lock;
+    P.Lock.lock next_id_lock;
+    next_id := 1;
+    P.Lock.unlock next_id_lock
+end

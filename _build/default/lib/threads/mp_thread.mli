@@ -1,0 +1,16 @@
+(** Multiprocessor thread package — a faithful transcription of the paper's
+    Figure 3 on top of any MP platform.
+
+    Differences from the uniprocessor version are exactly the paper's: on
+    [fork] the kernel first tries to acquire a fresh proc to carry the
+    parent (falling back to the ready queue on [No_More_Procs]); [dispatch]
+    releases the proc when the ready queue is empty; the ready queue and the
+    id counter are protected by mutex locks; and the current thread id lives
+    in the per-proc datum. *)
+
+module Make (P : Mp.Mp_intf.PLATFORM_INT) (Queue : Queues.Queue_intf.QUEUE) : sig
+  include Thread_intf.SCHED
+
+  val reset : unit -> unit
+  (** Clear scheduler state (test isolation). *)
+end

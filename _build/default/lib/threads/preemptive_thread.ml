@@ -1,0 +1,44 @@
+module Make (P : Mp.Mp_intf.PLATFORM) (T : Thread_intf.THREAD) = struct
+  module Signal = Mp.Mp_signal.Make (P)
+
+  let sigvtalrm = 26
+  let armed = ref false
+  let interval = ref 0.1
+  let next_alarm = ref 0.
+  let preemption_count = ref 0
+
+  let handler _ =
+    incr preemption_count;
+    T.yield ()
+
+  (* Alarm "delivery": at every safe point the eldest proc past the deadline
+     re-broadcasts the signal — the polling simulation of an interval timer
+     (there is no asynchronous delivery in the platform, by design). *)
+  let poll () =
+    if !armed then begin
+      let now = P.Work.now () in
+      if now >= !next_alarm then begin
+        next_alarm := now +. !interval;
+        Signal.deliver sigvtalrm
+      end;
+      Signal.poll ()
+    end
+
+  let arm ~interval:i =
+    if i <= 0. then invalid_arg "Preemptive_thread.arm";
+    interval := i;
+    next_alarm := P.Work.now () +. i;
+    preemption_count := 0;
+    Signal.install sigvtalrm (Some handler);
+    armed := true;
+    P.Work.set_poll_hook poll
+
+  let disarm () =
+    armed := false;
+    Signal.install sigvtalrm None;
+    P.Work.set_poll_hook (fun () -> ())
+
+  let preemptions () = !preemption_count
+  let mask () = Signal.mask sigvtalrm
+  let unmask () = Signal.unmask sigvtalrm
+end

@@ -1,0 +1,34 @@
+(** Preemption for thread packages, as sketched in the paper's §2: "a more
+    realistic implementation would use timer alarm signals to preempt
+    compute-bound threads periodically ... we can set up an alarm signal
+    handler to invoke [yield] asynchronously".
+
+    This functor wires exactly that: an alarm signal whose global handler
+    calls the wrapped package's [yield], delivered through the platform's
+    safe points ([Work.poll] — §3.4's timer-driven polling).  [arm] installs
+    the handler and schedules periodic delivery; compute-bound threads are
+    preempted at their next safe point without ever calling [yield]
+    themselves. *)
+
+module Make (P : Mp.Mp_intf.PLATFORM) (T : Thread_intf.THREAD) : sig
+  val sigvtalrm : int
+  (** The signal number used for the alarm. *)
+
+  val arm : interval:float -> unit
+  (** Install the alarm handler and begin periodic preemption: every
+      [interval] seconds (platform time), the alarm is delivered to every
+      proc, and the handler yields at the receiving proc's next safe
+      point.  Also installs the platform poll hook. *)
+
+  val disarm : unit -> unit
+  (** Stop preempting (handler removed, poll hook cleared). *)
+
+  val preemptions : unit -> int
+  (** Number of alarm-induced yields so far. *)
+
+  val mask : unit -> unit
+  (** Disable preemption on the calling proc (critical sections), per the
+      paper's per-proc masking convention. *)
+
+  val unmask : unit -> unit
+end

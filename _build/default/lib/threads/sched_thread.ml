@@ -1,0 +1,226 @@
+open Mp
+
+module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
+  module MQ = Queues.Multi_queue.Make (P.Lock)
+
+  type runnable =
+    | Thunk of (unit -> unit) * int
+    | Cont : 'a Engine.cont * 'a * int -> runnable
+
+  let rq : runnable MQ.t ref = ref (MQ.create ~procs:1)
+  let central = ref false
+  let active = ref false
+  let finished = ref false
+  let acquired = ref 1
+  let quantum = ref 0.02
+  let next_id = Atomic.make 1
+  let switch_count = Atomic.make 0
+  let thread_error : exn option Atomic.t = Atomic.make None
+  let last_switch = ref [||]
+
+  (* Pending timers, sorted by wake time.  Callbacks run in dispatch/poll
+     context (inside a fiber), so they may take platform locks. *)
+  let timer_lock = P.Lock.mutex_lock ()
+  let timers : (float * (unit -> unit)) list ref = ref []
+
+  let at time callback =
+    P.Lock.lock timer_lock;
+    let rec insert = function
+      | (t, _) :: _ as rest when time < t -> (time, callback) :: rest
+      | entry :: rest -> entry :: insert rest
+      | [] -> [ (time, callback) ]
+    in
+    timers := insert !timers;
+    P.Lock.unlock timer_lock
+
+  (* Fire every due timer; true if any fired.  The unlocked peek matters:
+     dispatch calls this on every idle iteration, and taking the lock each
+     time would make the timer lock the hottest word in the system. *)
+  let fire_due_timers () =
+    match !timers with
+    | [] -> false
+    | (t0, _) :: _ when t0 > P.Work.now () -> false
+    | _ ->
+    let now = P.Work.now () in
+    P.Lock.lock timer_lock;
+    let rec split acc = function
+      | (t, cb) :: rest when t <= now -> split (cb :: acc) rest
+      | rest -> (List.rev acc, rest)
+    in
+    let due, later = split [] !timers in
+    timers := later;
+    P.Lock.unlock timer_lock;
+    List.iter (fun cb -> cb ()) due;
+    due <> []
+
+  let record_error e =
+    ignore (Atomic.compare_and_set thread_error None (Some e))
+
+  let id () = P.Proc.get_datum ()
+
+  let mark_switch proc =
+    Atomic.incr switch_count;
+    let arr = !last_switch in
+    if proc < Array.length arr then arr.(proc) <- P.Work.now ()
+
+  let rec dispatch () =
+    let proc = P.Proc.self () in
+    mark_switch proc;
+    match
+      if !central then MQ.take_local !rq ~proc:0 else MQ.take !rq ~proc
+    with
+    | Some (Thunk (f, tid)) ->
+        P.Proc.set_datum tid;
+        (try f () with e -> record_error e);
+        dispatch ()
+    | Some (Cont (k, v, tid)) ->
+        P.Proc.set_datum tid;
+        Engine.throw k v
+    | None ->
+        if fire_due_timers () then dispatch ()
+        else if !finished then P.Proc.release_proc ()
+        else begin
+          P.Work.idle ();
+          dispatch ()
+        end
+
+  let enqueue r =
+    MQ.push !rq ~proc:(if !central then 0 else P.Proc.self ()) r
+
+  (* New threads are distributed round-robin across the per-proc queues (the
+     distributed run queue); resumed continuations stay on the resuming
+     proc's queue for affinity. *)
+  let fork child =
+    let tid = Atomic.fetch_and_add next_id 1 in
+    if !central then MQ.push !rq ~proc:0 (Thunk (child, tid))
+    else MQ.push_global !rq (Thunk (child, tid))
+
+  let yield () =
+    Engine.callcc (fun cont ->
+        enqueue (Cont (cont, (), id ()));
+        dispatch ())
+
+  let block register =
+    Engine.callcc (fun k ->
+        register k;
+        dispatch ())
+
+  let reschedule (cont, tid) = enqueue (Cont (cont, (), tid))
+  let reschedule_thread (k, v, tid) = enqueue (Cont (k, v, tid))
+
+  (* Timer-driven polling preemption (paper §3.4): at every safe point, if
+     the running thread has exceeded its quantum, force a yield. *)
+  let poll_check () =
+    if !active then begin
+      ignore (fire_due_timers ());
+      let proc = P.Proc.self () in
+      let arr = !last_switch in
+      if proc >= 0 && proc < Array.length arr then
+        if P.Work.now () -. arr.(proc) > !quantum then yield ()
+    end
+
+  let worker_cont () =
+    Kont_util.cont_of_thunk ~on_return:P.Proc.release_proc (fun () ->
+        dispatch ())
+
+  let with_pool ?procs ?quantum:(q = 0.02) ?(run_queue = `Distributed) f =
+    if !active then invalid_arg "Sched_thread.with_pool: not reentrant";
+    central := run_queue = `Central;
+    let max_procs = P.Proc.max_procs () in
+    let want = match procs with None -> max_procs | Some p -> max 1 p in
+    rq := MQ.create ~procs:max_procs;
+    active := true;
+    finished := false;
+    acquired := 1;
+    Atomic.set next_id 1;
+    Atomic.set switch_count 0;
+    Atomic.set thread_error None;
+    timers := [];
+    last_switch := Array.make max_procs (P.Work.now ());
+    quantum := q;
+    P.Work.set_poll_hook poll_check;
+    (try
+       while !acquired < want do
+         P.Proc.acquire_proc (P.Proc.PS (worker_cont (), 0));
+         incr acquired
+       done
+     with Mp_intf.No_More_Procs -> ());
+    let result = try Ok (f ()) with e -> Error e in
+    finished := true;
+    active := false;
+    P.Work.set_poll_hook (fun () -> ());
+    match (result, Atomic.get thread_error) with
+    | Ok v, None -> v
+    | Ok _, Some e -> raise e
+    | Error e, _ -> raise e
+
+  let fork_join fns =
+    match fns with
+    | [] -> ()
+    | fns ->
+        let n = List.length fns in
+        let lock = P.Lock.mutex_lock () in
+        let remaining = ref n in
+        let waiter : (unit Engine.cont * int) option ref = ref None in
+        let wrap f () =
+          (try f () with e -> record_error e);
+          P.Lock.lock lock;
+          decr remaining;
+          let w = if !remaining = 0 then !waiter else None in
+          if w <> None then waiter := None;
+          P.Lock.unlock lock;
+          match w with
+          | Some (k, tid) -> reschedule (k, tid)
+          | None -> ()
+        in
+        List.iter (fun f -> fork (wrap f)) fns;
+        let my_tid = id () in
+        Engine.callcc (fun k ->
+            P.Lock.lock lock;
+            if !remaining = 0 then begin
+              P.Lock.unlock lock;
+              Engine.throw k ()
+            end
+            else begin
+              waiter := Some (k, my_tid);
+              P.Lock.unlock lock;
+              dispatch ()
+            end)
+
+  let par_iter ?chunks n f =
+    if n > 0 then begin
+      let chunks =
+        match chunks with
+        | Some c -> max 1 (min c n)
+        | None -> max 1 (min (4 * P.Proc.max_procs ()) n)
+      in
+      let block_size = (n + chunks - 1) / chunks in
+      let tasks = ref [] in
+      let start = ref 0 in
+      while !start < n do
+        let lo = !start and hi = min n (!start + block_size) in
+        tasks :=
+          (fun () ->
+            for i = lo to hi - 1 do
+              f i
+            done)
+          :: !tasks;
+        start := hi
+      done;
+      fork_join !tasks
+    end
+
+  let now () = P.Work.now ()
+
+  let sleep d =
+    if d > 0. then begin
+      let tid = id () in
+      Engine.callcc (fun k ->
+          at (now () +. d) (fun () -> reschedule (k, tid));
+          dispatch ())
+    end
+
+  let pool_procs () = !acquired
+  let steals () = MQ.steals !rq
+  let switches () = Atomic.get switch_count
+end

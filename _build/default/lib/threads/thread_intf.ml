@@ -1,0 +1,44 @@
+(** Thread-package interfaces.
+
+    [THREAD] is the paper's Figure-1 signature.  [SCHED] extends it with the
+    scheduler internals ([reschedule], [dispatch], ...) that the paper's
+    higher-level clients — selective communication (Figure 5), CML, and
+    synchronization constructs — are written against. *)
+
+module type THREAD = sig
+  val fork : (unit -> unit) -> unit
+  (** Start a new thread executing the given function, with a fresh integer
+      id, running in parallel with its parent. *)
+
+  val yield : unit -> unit
+  (** Temporarily yield the processor to another thread. *)
+
+  val id : unit -> int
+  (** Id of the current thread. *)
+end
+
+module type SCHED = sig
+  include THREAD
+
+  val reschedule : unit Mp.Engine.cont * int -> unit
+  (** Make a saved thread (continuation and id) ready to run. *)
+
+  val reschedule_thread : 'a Mp.Engine.cont * 'a * int -> unit
+  (** Make a thread blocked on a typed continuation ready, delivering the
+      given value when it resumes (paper, Figure 5 caption). *)
+
+  val dispatch : unit -> 'a
+  (** Abandon the current computation and run the next ready thread; if
+      none is available, give up the proc (or idle, package-dependent).
+      Never returns. *)
+end
+
+(** A scheduler that can also run timed callbacks — what CML's timeout
+    events require.  {!Sched_thread} provides it; the paper-faithful
+    Figure-1/Figure-3 packages do not. *)
+module type TIMED_SCHED = sig
+  include SCHED
+
+  val now : unit -> float
+  val at : float -> (unit -> unit) -> unit
+end

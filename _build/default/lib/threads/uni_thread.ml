@@ -1,0 +1,38 @@
+open Mp
+
+module Make (Queue : Queues.Queue_intf.QUEUE) = struct
+  let ready : (unit Engine.cont * int) Queue.queue = Queue.create ()
+  let current_id = ref 0
+  let next_id = ref 1
+  let reschedule (cont, id) = Queue.enq ready (cont, id)
+
+  let dispatch () =
+    let cont, id = Queue.deq ready in
+    current_id := id;
+    Engine.throw cont ()
+
+  let fork child =
+    Engine.callcc (fun parent ->
+        reschedule (parent, !current_id);
+        current_id := !next_id;
+        next_id := !next_id + 1;
+        child ();
+        dispatch ())
+
+  let yield () =
+    Engine.callcc (fun cont ->
+        reschedule (cont, !current_id);
+        dispatch ())
+
+  let id () = !current_id
+  let reschedule_thread (k, v, id) = reschedule (Kont_util.unit_cont_of k v, id)
+
+  let reset () =
+    (try
+       while true do
+         ignore (Queue.deq ready)
+       done
+     with Queue.Empty -> ());
+    current_id := 0;
+    next_id := 1
+end

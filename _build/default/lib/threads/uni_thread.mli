@@ -1,0 +1,17 @@
+(** Uniprocessor thread package — a faithful transcription of the paper's
+    Figure 1: waiting threads are a queue of first-class continuations, and
+    the scheduling policy is whatever discipline the [Queue] argument
+    implements.
+
+    As in the figure, [dispatch] lets [Queue.Empty] escape when the ready
+    queue is empty and no thread remains; clients that need a clean
+    shutdown should keep a main thread alive (or catch [Queue_intf.Empty]).
+    Run it inside any MP platform's [run] — it never touches [Proc], so the
+    uniprocessor backend suffices. *)
+
+module Make (Queue : Queues.Queue_intf.QUEUE) : sig
+  include Thread_intf.SCHED
+
+  val reset : unit -> unit
+  (** Clear the ready queue and id counters (test isolation). *)
+end

@@ -1,0 +1,1 @@
+lib/workloads/bench_suite.ml: Array Bitonic Euclid Graph Hydro List Matrix Mp Mpthreads Random

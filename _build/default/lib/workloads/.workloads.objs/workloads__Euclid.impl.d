@@ -1,0 +1,1 @@
+lib/workloads/euclid.ml: Array List Random

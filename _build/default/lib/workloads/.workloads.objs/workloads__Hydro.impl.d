@@ -1,0 +1,1 @@
+lib/workloads/hydro.ml: Array Int64 Random

@@ -1,0 +1,62 @@
+let comparators = ref 0
+let comparators_used () = !comparators
+let reset_counters () = comparators := 0
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+(* One comparator column over a bitonic segment: after it, every element of
+   the low half is <= (resp >=) every element of the high half, and both
+   halves are bitonic. *)
+let half_clean ~up a lo n =
+  let h = n / 2 in
+  let swapped = ref false in
+  for i = lo to lo + h - 1 do
+    incr comparators;
+    let x = a.(i) and y = a.(i + h) in
+    if (up && x > y) || ((not up) && x < y) then begin
+      a.(i) <- y;
+      a.(i + h) <- x;
+      swapped := true
+    end
+  done;
+  !swapped
+
+(* Is a.(lo..lo+n-1) already ordered in direction [up]? O(n) scan; the scan
+   cost is charged as comparators too, since the adaptive algorithm pays it. *)
+let ordered ~up a lo n =
+  let ok = ref true in
+  let i = ref lo in
+  while !ok && !i < lo + n - 1 do
+    incr comparators;
+    let x = a.(!i) and y = a.(!i + 1) in
+    if (up && x > y) || ((not up) && x < y) then ok := false;
+    incr i
+  done;
+  !ok
+
+let rec merge ~up a lo n =
+  if n > 1 then begin
+    let swapped = half_clean ~up a lo n in
+    let h = n / 2 in
+    (* Adaptivity: if the comparator column did no work and the segment is
+       already ordered, the merge is done. *)
+    if swapped || not (ordered ~up a lo n) then begin
+      merge ~up a lo h;
+      merge ~up a (lo + h) h
+    end
+  end
+
+let rec sort_range ~up a lo n =
+  if n > 1 then begin
+    let h = n / 2 in
+    sort_range ~up:true a lo h;
+    sort_range ~up:false a (lo + h) h;
+    merge ~up a lo n
+  end
+
+let sort a =
+  let n = Array.length a in
+  if n > 1 then begin
+    if not (is_power_of_two n) then
+      invalid_arg "Bitonic.sort: length must be a power of two";
+    sort_range ~up:true a 0 n
+  end

@@ -1,0 +1,74 @@
+type points = { xs : float array; ys : float array }
+
+let random_points ~n ~seed =
+  let rng = Random.State.make [| seed; n; 7 |] in
+  {
+    xs = Array.init n (fun _ -> Random.State.float rng 1000.);
+    ys = Array.init n (fun _ -> Random.State.float rng 1000.);
+  }
+
+let weight p i j =
+  let dx = p.xs.(i) -. p.xs.(j) and dy = p.ys.(i) -. p.ys.(j) in
+  int_of_float ((dx *. dx) +. (dy *. dy))
+
+let prim_mst p =
+  let n = Array.length p.xs in
+  if n = 0 then 0
+  else begin
+    let in_tree = Array.make n false in
+    let best = Array.make n max_int in
+    in_tree.(0) <- true;
+    for j = 1 to n - 1 do
+      best.(j) <- weight p 0 j
+    done;
+    let total = ref 0 in
+    for _ = 1 to n - 1 do
+      (* pick the closest non-tree node *)
+      let pick = ref (-1) in
+      for j = 0 to n - 1 do
+        if (not in_tree.(j)) && (!pick < 0 || best.(j) < best.(!pick)) then
+          pick := j
+      done;
+      let v = !pick in
+      in_tree.(v) <- true;
+      total := !total + best.(v);
+      for j = 0 to n - 1 do
+        if not in_tree.(j) then best.(j) <- min best.(j) (weight p v j)
+      done
+    done;
+    !total
+  end
+
+(* Union-find with path compression. *)
+let rec find parent i =
+  if parent.(i) = i then i
+  else begin
+    parent.(i) <- find parent parent.(i);
+    parent.(i)
+  end
+
+let kruskal_mst p =
+  let n = Array.length p.xs in
+  if n = 0 then 0
+  else begin
+    let edges = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        edges := (weight p i j, i, j) :: !edges
+      done
+    done;
+    let edges =
+      List.sort (fun (a, _, _) (b, _, _) -> compare a b) !edges
+    in
+    let parent = Array.init n (fun i -> i) in
+    let total = ref 0 in
+    List.iter
+      (fun (w, i, j) ->
+        let ri = find parent i and rj = find parent j in
+        if ri <> rj then begin
+          parent.(ri) <- rj;
+          total := !total + w
+        end)
+      edges;
+    !total
+  end

@@ -1,0 +1,19 @@
+(** Random planar point sets and sequential minimum-spanning-tree
+    algorithms — reference implementations for the [mst] benchmark (Prim's
+    algorithm on 200 randomly distributed points, after Mohr).
+
+    Edge weights are squared Euclidean distances (integer, exact), so
+    Prim and Kruskal agree bit-for-bit. *)
+
+type points = { xs : float array; ys : float array }
+
+val random_points : n:int -> seed:int -> points
+
+val weight : points -> int -> int -> int
+(** Squared distance between two points, scaled to an integer grid. *)
+
+val prim_mst : points -> int
+(** Total weight of the minimum spanning tree (Prim, O(n²)). *)
+
+val kruskal_mst : points -> int
+(** Same via Kruskal + union-find, for cross-checking. *)

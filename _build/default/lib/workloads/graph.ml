@@ -1,0 +1,40 @@
+type t = { n : int; dist : int array array }
+
+let inf = max_int / 4
+
+let random ~n ?(density = 0.4) ?(max_weight = 100) ~seed () =
+  let rng = Random.State.make [| seed; n |] in
+  let dist =
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            if i = j then 0
+            else if Random.State.float rng 1.0 < density then
+              1 + Random.State.int rng max_weight
+            else inf))
+  in
+  { n; dist }
+
+let copy g = { g with dist = Array.map Array.copy g.dist }
+
+let floyd_warshall g =
+  let n = g.n in
+  let d = Array.map Array.copy g.dist in
+  for k = 0 to n - 1 do
+    for i = 0 to n - 1 do
+      let dik = d.(i).(k) in
+      if dik < inf then
+        for j = 0 to n - 1 do
+          let via = dik + d.(k).(j) in
+          if via < d.(i).(j) then d.(i).(j) <- via
+        done
+    done
+  done;
+  d
+
+let checksum d =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left
+        (fun acc x -> (acc * 31) + (if x >= inf then -1 else x) land 0xffffff)
+        acc row)
+    17 d

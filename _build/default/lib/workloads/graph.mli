@@ -1,0 +1,23 @@
+(** Dense weighted digraphs and the sequential Floyd–Warshall all-pairs
+    shortest paths algorithm — the reference implementation for the
+    [allpairs] benchmark (Mohr's 75-node graph workload). *)
+
+type t = { n : int; dist : int array array }
+
+val inf : int
+(** Large sentinel weight for absent edges (safe against overflow when two
+    are added). *)
+
+val random : n:int -> ?density:float -> ?max_weight:int -> seed:int -> unit -> t
+(** Random digraph: each ordered pair gets an edge with probability
+    [density] (default 0.4) and weight in [1, max_weight] (default 100);
+    diagonal is 0.  Deterministic per seed. *)
+
+val copy : t -> t
+
+val floyd_warshall : t -> int array array
+(** All-pairs shortest path matrix (input unchanged). *)
+
+val checksum : int array array -> int
+(** Order-independent digest of a distance matrix, for cross-checking
+    parallel runs against the sequential reference. *)

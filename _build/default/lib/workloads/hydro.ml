@@ -1,0 +1,191 @@
+type t = {
+  n : int;
+  rho : float array array;
+  e : float array array;
+  u : float array array;
+  v : float array array;
+  p : float array array;
+  q : float array array;
+}
+
+let gamma = 1.4
+let visc_c = 0.1
+let kappa = 0.05
+let courant = 0.25
+
+let create ~n ~seed =
+  let rng = Random.State.make [| seed; n; 99 |] in
+  let field f = Array.init n (fun i -> Array.init n (fun j -> f i j)) in
+  let peak i j =
+    (* dense hot blob in the center, ambient elsewhere *)
+    let c = float_of_int (n / 2) in
+    let dx = (float_of_int i -. c) /. c and dy = (float_of_int j -. c) /. c in
+    let r2 = (dx *. dx) +. (dy *. dy) in
+    exp (-4. *. r2)
+  in
+  {
+    n;
+    rho = field (fun i j -> 1.0 +. peak i j +. (0.01 *. Random.State.float rng 1.));
+    e = field (fun i j -> 1.0 +. (2.0 *. peak i j));
+    u = field (fun _ _ -> 0.);
+    v = field (fun _ _ -> 0.);
+    p = field (fun _ _ -> 0.);
+    q = field (fun _ _ -> 0.);
+  }
+
+let copy t =
+  {
+    n = t.n;
+    rho = Array.map Array.copy t.rho;
+    e = Array.map Array.copy t.e;
+    u = Array.map Array.copy t.u;
+    v = Array.map Array.copy t.v;
+    p = Array.map Array.copy t.p;
+    q = Array.map Array.copy t.q;
+  }
+
+let phase_eos t ~lo ~hi =
+  for i = lo to hi - 1 do
+    for j = 0 to t.n - 1 do
+      t.p.(i).(j) <- (gamma -. 1.) *. t.rho.(i).(j) *. t.e.(i).(j)
+    done
+  done
+
+let clamp t i = if i < 0 then 0 else if i >= t.n then t.n - 1 else i
+
+let phase_viscosity t ~lo ~hi =
+  for i = lo to hi - 1 do
+    for j = 0 to t.n - 1 do
+      let du = t.u.(clamp t (i + 1)).(j) -. t.u.(clamp t (i - 1)).(j) in
+      let dv = t.v.(i).(clamp t (j + 1)) -. t.v.(i).(clamp t (j - 1)) in
+      let div = du +. dv in
+      t.q.(i).(j) <-
+        (if div < 0. then visc_c *. t.rho.(i).(j) *. div *. div else 0.)
+    done
+  done
+
+let phase_velocity t ~dt ~lo ~hi =
+  for i = lo to hi - 1 do
+    if i > 0 && i < t.n - 1 then
+      for j = 1 to t.n - 2 do
+        let ptot k l = t.p.(k).(l) +. t.q.(k).(l) in
+        let gx = (ptot (i + 1) j -. ptot (i - 1) j) /. 2. in
+        let gy = (ptot i (j + 1) -. ptot i (j - 1)) /. 2. in
+        t.u.(i).(j) <- t.u.(i).(j) -. (dt *. gx /. t.rho.(i).(j));
+        t.v.(i).(j) <- t.v.(i).(j) -. (dt *. gy /. t.rho.(i).(j))
+      done
+  done
+
+let divergence t i j =
+  let du = (t.u.(clamp t (i + 1)).(j) -. t.u.(clamp t (i - 1)).(j)) /. 2. in
+  let dv = (t.v.(i).(clamp t (j + 1)) -. t.v.(i).(clamp t (j - 1))) /. 2. in
+  du +. dv
+
+let phase_energy t ~dt ~lo ~hi =
+  for i = lo to hi - 1 do
+    for j = 0 to t.n - 1 do
+      let work = (t.p.(i).(j) +. t.q.(i).(j)) *. divergence t i j in
+      t.e.(i).(j) <- max 1e-6 (t.e.(i).(j) -. (dt *. work /. t.rho.(i).(j)))
+    done
+  done
+
+let phase_density t ~dt ~lo ~hi =
+  for i = lo to hi - 1 do
+    for j = 0 to t.n - 1 do
+      t.rho.(i).(j) <-
+        max 1e-6 (t.rho.(i).(j) *. (1. -. (dt *. divergence t i j)))
+    done
+  done
+
+(* Heat diffusion is Jacobi-style in two sub-phases so that row-parallel
+   execution is deterministic: the new energies go to the [p] scratch field
+   (recomputed by the next step's EOS anyway), then are committed. *)
+let phase_heat t ~lo ~hi =
+  for i = lo to hi - 1 do
+    if i > 0 && i < t.n - 1 then
+      for j = 1 to t.n - 2 do
+        let lap =
+          t.e.(i - 1).(j) +. t.e.(i + 1).(j) +. t.e.(i).(j - 1)
+          +. t.e.(i).(j + 1)
+          -. (4. *. t.e.(i).(j))
+        in
+        t.p.(i).(j) <- t.e.(i).(j) +. (kappa *. lap)
+      done
+  done
+
+let phase_heat_commit t ~lo ~hi =
+  for i = lo to hi - 1 do
+    if i > 0 && i < t.n - 1 then
+      for j = 1 to t.n - 2 do
+        t.e.(i).(j) <- t.p.(i).(j)
+      done
+  done
+
+let boundary t =
+  let n = t.n in
+  for j = 0 to n - 1 do
+    (* reflecting walls *)
+    t.u.(0).(j) <- 0.;
+    t.u.(n - 1).(j) <- 0.;
+    t.v.(0).(j) <- 0.;
+    t.v.(n - 1).(j) <- 0.;
+    t.u.(j).(0) <- 0.;
+    t.u.(j).(n - 1) <- 0.;
+    t.v.(j).(0) <- 0.;
+    t.v.(j).(n - 1) <- 0.;
+    t.e.(0).(j) <- t.e.(1).(j);
+    t.e.(n - 1).(j) <- t.e.(n - 2).(j);
+    t.e.(j).(0) <- t.e.(j).(1);
+    t.e.(j).(n - 1) <- t.e.(j).(n - 2)
+  done
+
+let cfl_row t i =
+  let best = ref infinity in
+  for j = 0 to t.n - 1 do
+    let c =
+      sqrt (gamma *. (gamma -. 1.) *. t.e.(i).(j))
+      +. abs_float t.u.(i).(j)
+      +. abs_float t.v.(i).(j)
+    in
+    if c > 0. then begin
+      let dt = courant /. c in
+      if dt < !best then best := dt
+    end
+  done;
+  !best
+
+let step_seq t =
+  let n = t.n in
+  phase_eos t ~lo:0 ~hi:n;
+  phase_viscosity t ~lo:0 ~hi:n;
+  let dt = ref infinity in
+  for i = 0 to n - 1 do
+    let d = cfl_row t i in
+    if d < !dt then dt := d
+  done;
+  let dt = !dt in
+  phase_velocity t ~dt ~lo:0 ~hi:n;
+  phase_energy t ~dt ~lo:0 ~hi:n;
+  phase_density t ~dt ~lo:0 ~hi:n;
+  phase_heat t ~lo:0 ~hi:n;
+  phase_heat_commit t ~lo:0 ~hi:n;
+  boundary t;
+  dt
+
+let checksum t =
+  let h = ref 1469598103 in
+  let mix f =
+    let bits = Int64.to_int (Int64.bits_of_float f) in
+    h := (!h * 1099511) lxor (bits land 0x3fffffff)
+  in
+  for i = 0 to t.n - 1 do
+    for j = 0 to t.n - 1 do
+      mix t.rho.(i).(j);
+      mix t.e.(i).(j);
+      mix t.u.(i).(j);
+      mix t.v.(i).(j)
+    done
+  done;
+  !h land max_int
+
+let row_flops t = t.n * 12

@@ -1,0 +1,51 @@
+(** Simplified SIMPLE hydrodynamics (after Crowley et al. 1978, the paper's
+    [simple] benchmark: "solves a set of differential equations across a
+    grid of size 100×100, run for one time step").
+
+    A 2D Eulerian-style step over density/energy/velocity fields, organized
+    as the phase structure that gives [simple] its performance profile:
+    several cheap grid sweeps separated by barriers, a serial boundary
+    pass, and a global CFL reduction — so available parallelism is low and
+    processors idle, as §6 reports (idle rates above 50% for ≥10 procs).
+
+    Every phase function takes a row range [lo, hi) so the parallel driver
+    can split it; running each phase over the full range reproduces the
+    sequential reference exactly (same floating-point order per row). *)
+
+type t = {
+  n : int;
+  rho : float array array;  (** density *)
+  e : float array array;  (** internal energy *)
+  u : float array array;  (** x velocity *)
+  v : float array array;  (** y velocity *)
+  p : float array array;  (** pressure (derived) *)
+  q : float array array;  (** artificial viscosity (derived) *)
+}
+
+val create : n:int -> seed:int -> t
+val copy : t -> t
+
+(* The phases of one time step, in order.  [dt] comes from {!cfl_row} via a
+   min-reduction. *)
+
+val phase_eos : t -> lo:int -> hi:int -> unit
+val phase_viscosity : t -> lo:int -> hi:int -> unit
+val phase_velocity : t -> dt:float -> lo:int -> hi:int -> unit
+val phase_energy : t -> dt:float -> lo:int -> hi:int -> unit
+val phase_density : t -> dt:float -> lo:int -> hi:int -> unit
+val phase_heat : t -> lo:int -> hi:int -> unit
+val phase_heat_commit : t -> lo:int -> hi:int -> unit
+val boundary : t -> unit
+(** Serial boundary-condition pass (edges only). *)
+
+val cfl_row : t -> int -> float
+(** Per-row contribution to the CFL time-step bound (min-reduce across rows). *)
+
+val step_seq : t -> float
+(** One full sequential time step; returns the dt used. *)
+
+val checksum : t -> int
+(** Bit-stable digest of the whole state. *)
+
+val row_flops : t -> int
+(** Approximate abstract instructions per row per phase (cost model). *)

@@ -1,0 +1,30 @@
+type t = int array array
+
+let random ~n ~seed =
+  let rng = Random.State.make [| seed; n; 13 |] in
+  Array.init n (fun _ -> Array.init n (fun _ -> Random.State.int rng 1000))
+
+let multiply_row a b ~dst i =
+  let n = Array.length a in
+  let row = a.(i) in
+  for j = 0 to n - 1 do
+    let acc = ref 0 in
+    for k = 0 to n - 1 do
+      acc := !acc + (row.(k) * b.(k).(j))
+    done;
+    dst.(i).(j) <- !acc
+  done
+
+let multiply a b =
+  let n = Array.length a in
+  let dst = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    multiply_row a b ~dst i
+  done;
+  dst
+
+let checksum m =
+  Array.fold_left
+    (fun acc row ->
+      Array.fold_left (fun acc x -> (acc * 31) + (x land 0xffffff)) acc row)
+    23 m

@@ -1,0 +1,11 @@
+(** Integer matrices — reference implementation for the [mm] benchmark
+    (multiply of two 100×100 integer matrices). *)
+
+type t = int array array
+
+val random : n:int -> seed:int -> t
+val multiply : t -> t -> t
+val multiply_row : t -> t -> dst:t -> int -> unit
+(** Compute one row of the product (the parallel unit of work). *)
+
+val checksum : t -> int

@@ -1,0 +1,1 @@
+test/test_cml.ml: Alcotest Cml List Mpthreads QCheck QCheck_alcotest Random Sim

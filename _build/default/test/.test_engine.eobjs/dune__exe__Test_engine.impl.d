@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Engine Kont_util List Mp Mp_uniproc

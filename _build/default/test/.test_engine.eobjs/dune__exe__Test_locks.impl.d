@@ -1,0 +1,1 @@
+test/test_locks.ml: Alcotest Domain List Locks Mp Mpthreads Mutex Printf Sim Unix

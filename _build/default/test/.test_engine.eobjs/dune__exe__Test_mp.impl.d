@@ -1,0 +1,1 @@
+test/test_mp.ml: Alcotest Array Atomic Domain Engine Kont_util List Mp Mp_domains Mp_intf Mp_signal Mp_uniproc Stats Unix

@@ -1,0 +1,1 @@
+test/test_preempt.ml: Alcotest Domain List Locks Mpthreads Queues Sim

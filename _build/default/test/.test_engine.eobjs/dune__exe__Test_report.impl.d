@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Array Buffer Filename Format Lazy List Model Mp Report String Sys

@@ -1,0 +1,1 @@
+test/test_select.ml: Alcotest Array Atomic List Mp Mpthreads Queues Select Sim

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Atomic Float List Mp Mpthreads Option QCheck QCheck_alcotest Sim

@@ -1,0 +1,1 @@
+test/test_threads.ml: Alcotest Array Atomic List Mp Mp_domains Mp_uniproc Mpthreads Queue Queues Sim

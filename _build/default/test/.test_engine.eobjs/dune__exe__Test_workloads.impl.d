@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bench_suite Bitonic Euclid Float Fun Graph Hydro List Matrix Mp QCheck QCheck_alcotest Random Sim Workloads

@@ -1,0 +1,517 @@
+(* CML prototype: events, combinators, synchronous channels, choice.
+   Runs on the deterministic simulated backend. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+module P =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:4 ()
+    end)
+    ()
+
+module S = Mpthreads.Sched_thread.Make (P)
+module C = Cml.Make (P) (S)
+
+let in_pool f = P.run (fun () -> S.with_pool f)
+
+(* ---------------- base events ---------------- *)
+
+let test_always () = check "always" 5 (in_pool (fun () -> C.sync (C.always 5)))
+
+let test_send_recv () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.spawn (fun () -> C.send ch 13);
+        C.recv ch)
+  in
+  check "rendezvous" 13 v
+
+let test_recv_before_send () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        let got = ref 0 in
+        C.spawn (fun () -> got := C.recv ch);
+        S.yield ();
+        C.send ch 21;
+        while !got = 0 do
+          S.yield ()
+        done;
+        !got)
+  in
+  check "receiver first" 21 v
+
+let test_send_blocks_until_received () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        let sent = ref false in
+        C.spawn (fun () ->
+            C.send ch 1;
+            sent := true);
+        S.yield ();
+        checkb "send is synchronous" false !sent;
+        let v = C.recv ch in
+        while not !sent do
+          S.yield ()
+        done;
+        v)
+  in
+  check "value" 1 v
+
+let test_recv_poll () =
+  in_pool (fun () ->
+      let ch = C.channel () in
+      Alcotest.(check (option int)) "nothing" None (C.recv_poll ch);
+      C.spawn (fun () -> C.send ch 2);
+      (* wait for the sender to park *)
+      let rec poll_until n =
+        match C.recv_poll ch with
+        | Some _ as hit -> hit
+        | None ->
+            if n = 0 then None
+            else begin
+              S.yield ();
+              poll_until (n - 1)
+            end
+      in
+      Alcotest.(check (option int)) "sender waiting" (Some 2) (poll_until 100))
+
+(* ---------------- combinators ---------------- *)
+
+let test_wrap () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.spawn (fun () -> C.send ch 10);
+        C.sync (C.wrap (C.recv_evt ch) (fun x -> x * 3)))
+  in
+  check "wrapped" 30 v
+
+let test_wrap_composition () =
+  let v =
+    in_pool (fun () ->
+        C.sync (C.wrap (C.wrap (C.always 1) (fun x -> x + 1)) (fun x -> x * 10)))
+  in
+  check "wrap composes outward" 20 v
+
+let test_wrap_runs_in_syncing_thread () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        let wrapper_tid = ref (-1) in
+        let my_tid = S.id () in
+        C.spawn (fun () -> C.send ch 1);
+        let _ =
+          C.sync
+            (C.wrap (C.recv_evt ch)
+               (fun x ->
+                 wrapper_tid := S.id ();
+                 x))
+        in
+        checkb "wrap ran in the syncing thread" true (!wrapper_tid = my_tid);
+        1)
+  in
+  check "done" 1 v
+
+let test_guard_forced_at_sync () =
+  let forced = ref 0 in
+  let v =
+    in_pool (fun () ->
+        let ev =
+          C.guard (fun () ->
+              incr forced;
+              C.always 7)
+        in
+        check "guard not yet forced" 0 !forced;
+        let a = C.sync ev in
+        let b = C.sync ev in
+        check "forced once per sync" 2 !forced;
+        a + b)
+  in
+  check "values" 14 v
+
+let test_choose_takes_ready () =
+  C.set_seed 5;
+  let v =
+    in_pool (fun () ->
+        let c1 = C.channel () and c2 = C.channel () in
+        C.spawn (fun () -> C.send c2 9);
+        S.yield ();
+        C.select [ C.recv_evt c1; C.recv_evt c2 ])
+  in
+  check "ready branch" 9 v
+
+let test_choose_always_vs_blocked () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.select [ C.recv_evt ch; C.always 42 ])
+  in
+  check "always wins over empty channel" 42 v
+
+let test_choose_blocks_until_any () =
+  let v =
+    in_pool (fun () ->
+        let c1 = C.channel () and c2 = C.channel () in
+        let got = ref 0 in
+        C.spawn (fun () -> got := C.select [ C.recv_evt c1; C.recv_evt c2 ]);
+        S.yield ();
+        checkb "choice blocked" true (!got = 0);
+        C.send c1 6;
+        while !got = 0 do
+          S.yield ()
+        done;
+        !got)
+  in
+  check "woken by either branch" 6 v
+
+let test_choice_commits_once () =
+  (* registering on two channels, then senders race on both: exactly one
+     delivery reaches the chooser *)
+  let v =
+    in_pool (fun () ->
+        let c1 = C.channel () and c2 = C.channel () in
+        let got = ref 0 in
+        C.spawn (fun () -> got := C.select [ C.recv_evt c1; C.recv_evt c2 ]);
+        S.yield ();
+        let s1 = ref false and s2 = ref false in
+        C.spawn (fun () ->
+            C.send c1 100;
+            s1 := true);
+        C.spawn (fun () ->
+            C.send c2 200;
+            s2 := true);
+        while !got = 0 do
+          S.yield ()
+        done;
+        (* one sender is still blocked: its send did not complete *)
+        S.yield ();
+        let completed = (if !s1 then 1 else 0) + (if !s2 then 1 else 0) in
+        check "exactly one sender completed" 1 completed;
+        (* drain the other sender *)
+        let other = C.select [ C.recv_evt c1; C.recv_evt c2 ] in
+        !got + other)
+  in
+  check "both values delivered exactly once overall" 300 v
+
+let test_send_evt_in_choice () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        let got = ref 0 in
+        C.spawn (fun () -> got := C.recv ch);
+        S.yield ();
+        (* choice between sending and an impossible recv *)
+        let dead = C.channel () in
+        C.select
+          [
+            C.wrap (C.send_evt ch 33) (fun () -> 1);
+            C.wrap (C.recv_evt dead) (fun _ -> 2);
+          ]
+        |> fun branch ->
+        while !got = 0 do
+          S.yield ()
+        done;
+        (branch * 100) + !got)
+  in
+  check "send branch chosen, value delivered" 133 v
+
+let test_never_in_choice () =
+  let v =
+    in_pool (fun () -> C.select [ C.never; C.always 3; C.never ])
+  in
+  check "never is neutral" 3 v
+
+let test_guard_of_choice () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.spawn (fun () -> C.send ch 5);
+        S.yield ();
+        C.sync (C.guard (fun () -> C.choose [ C.recv_evt ch; C.never ])))
+  in
+  check "guard producing choice" 5 v
+
+(* ---------------- timeouts ---------------- *)
+
+let test_timeout_fires () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        (* nobody ever sends: the timeout branch must win *)
+        C.recv_timeout ch 0.05)
+  in
+  Alcotest.(check (option int)) "timed out" None v
+
+let test_timeout_loses_to_ready_sender () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.spawn (fun () -> C.send ch 5);
+        S.yield ();
+        C.recv_timeout ch 10.)
+  in
+  Alcotest.(check (option int)) "sender won" (Some 5) v
+
+let test_timeout_virtual_duration () =
+  let elapsed =
+    in_pool (fun () ->
+        let t0 = S.now () in
+        C.sleep 0.2;
+        S.now () -. t0)
+  in
+  checkb "slept about the requested time" true
+    (elapsed >= 0.2 && elapsed < 0.3)
+
+let test_timeout_sender_arrives_later () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.spawn (fun () ->
+            S.sleep 0.02;
+            C.send ch 9);
+        C.recv_timeout ch 1.0)
+  in
+  Alcotest.(check (option int)) "late sender still beats long timeout" (Some 9) v
+
+let test_timeout_stale_after_commit () =
+  (* the losing timeout of a committed choice must not corrupt later syncs *)
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        C.spawn (fun () -> C.send ch 1);
+        S.yield ();
+        let first = C.recv_timeout ch 0.05 in
+        (* wait past the dead timeout's expiry *)
+        C.sleep 0.1;
+        let second = C.recv_timeout ch 0.01 in
+        (first, second))
+  in
+  Alcotest.(check (pair (option int) (option int)))
+    "timeout of a won choice is inert"
+    (Some 1, None)
+    v
+
+(* ---------------- pipelines / stress ---------------- *)
+
+let test_pipeline_of_filters () =
+  (* a 3-stage adder pipeline *)
+  let v =
+    in_pool (fun () ->
+        let stage input =
+          let output = C.channel () in
+          C.spawn (fun () ->
+              while true do
+                C.send output (C.recv input + 1)
+              done);
+          output
+        in
+        let c0 = C.channel () in
+        let c3 = stage (stage (stage c0)) in
+        C.spawn (fun () ->
+            for i = 1 to 10 do
+              C.send c0 i
+            done);
+        let acc = ref 0 in
+        for _ = 1 to 10 do
+          acc := !acc + C.recv c3
+        done;
+        !acc)
+  in
+  check "10 values through 3 stages" (55 + 30) v
+
+let test_ping_pong () =
+  let v =
+    in_pool (fun () ->
+        let ping = C.channel () and pong = C.channel () in
+        C.spawn (fun () ->
+            for _ = 1 to 50 do
+              let x = C.recv ping in
+              C.send pong (x + 1)
+            done);
+        let acc = ref 0 in
+        for i = 1 to 50 do
+          C.send ping i;
+          acc := !acc + C.recv pong
+        done;
+        !acc)
+  in
+  check "50 round trips" (50 + (50 * 51 / 2)) v
+
+let test_many_to_one () =
+  let v =
+    in_pool (fun () ->
+        let ch = C.channel () in
+        for i = 1 to 30 do
+          C.spawn (fun () -> C.send ch i)
+        done;
+        let acc = ref 0 in
+        for _ = 1 to 30 do
+          acc := !acc + C.recv ch
+        done;
+        !acc)
+  in
+  check "fan-in" 465 v
+
+(* ---------------- wrap_abort ---------------- *)
+
+let test_wrap_abort_loser_runs () =
+  let aborted = ref [] in
+  let v =
+    in_pool (fun () ->
+        C.select
+          [
+            C.wrap_abort (C.always 1) (fun () -> aborted := 1 :: !aborted);
+            C.wrap_abort C.never (fun () -> aborted := 2 :: !aborted);
+          ])
+  in
+  check "always branch chosen" 1 v;
+  Alcotest.(check (list int)) "only the loser aborted" [ 2 ] !aborted
+
+let test_wrap_abort_winner_skipped () =
+  let aborted = ref false in
+  let v =
+    in_pool (fun () ->
+        C.sync (C.wrap_abort (C.always 9) (fun () -> aborted := true)))
+  in
+  check "value" 9 v;
+  checkb "sole branch never aborts" false !aborted
+
+let test_wrap_abort_on_blocked_choice () =
+  let aborted = ref 0 in
+  let v =
+    in_pool (fun () ->
+        let c1 = C.channel () and c2 = C.channel () in
+        C.spawn (fun () -> C.send c1 5);
+        (* block, then get committed via c1; c2's abort must run *)
+        C.select
+          [
+            C.recv_evt c1;
+            C.wrap_abort (C.recv_evt c2) (fun () -> incr aborted);
+          ])
+  in
+  check "received" 5 v;
+  check "losing branch aborted once" 1 !aborted
+
+(* ---------------- event algebra properties ---------------- *)
+
+(* random event trees over always/never/wrap/guard/choose, with the multiset
+   of reachable leaf values tracked alongside *)
+let rec gen_tree depth rng =
+  let leaf () =
+    let v = Random.State.int rng 1000 in
+    (C.always v, [ v ])
+  in
+  if depth = 0 then leaf ()
+  else
+    match Random.State.int rng 5 with
+    | 0 -> leaf ()
+    | 1 -> (C.never, [])
+    | 2 ->
+        let e, vs = gen_tree (depth - 1) rng in
+        (C.wrap e (fun x -> x + 1), List.map (fun v -> v + 1) vs)
+    | 3 ->
+        let e, vs = gen_tree (depth - 1) rng in
+        (C.guard (fun () -> e), vs)
+    | _ ->
+        let a, va = gen_tree (depth - 1) rng in
+        let b, vb = gen_tree (depth - 1) rng in
+        (C.choose [ a; b ], va @ vb)
+
+let prop_sync_returns_reachable_leaf =
+  QCheck.Test.make ~name:"sync of a choice tree returns a reachable leaf"
+    ~count:60
+    QCheck.(pair small_int (int_range 0 4))
+    (fun (seed, depth) ->
+      let rng = Random.State.make [| seed; depth |] in
+      let ev, leaves = gen_tree depth rng in
+      match leaves with
+      | [] -> true (* pure-never tree: syncing would block; skip *)
+      | _ ->
+          let v = in_pool (fun () -> C.sync ev) in
+          List.mem v leaves)
+
+let prop_wrap_distributes_over_choose =
+  QCheck.Test.make
+    ~name:"wrap (choose es) f ~ choose (map (wrap f) es) (reachable sets)"
+    ~count:40 QCheck.small_int
+    (fun seed ->
+      let rng = Random.State.make [| seed; 99 |] in
+      let a, va = gen_tree 2 rng in
+      let b, vb = gen_tree 2 rng in
+      let f x = (x * 2) + 1 in
+      let expected = List.map f (va @ vb) in
+      match expected with
+      | [] -> true
+      | _ ->
+          let v1 = in_pool (fun () -> C.sync (C.wrap (C.choose [ a; b ]) f)) in
+          let v2 =
+            in_pool (fun () ->
+                C.sync (C.choose [ C.wrap a f; C.wrap b f ]))
+          in
+          List.mem v1 expected && List.mem v2 expected)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "cml"
+    [
+      ( "base",
+        [
+          Alcotest.test_case "always" `Quick test_always;
+          Alcotest.test_case "send/recv" `Quick test_send_recv;
+          Alcotest.test_case "recv before send" `Quick test_recv_before_send;
+          Alcotest.test_case "send is synchronous" `Quick
+            test_send_blocks_until_received;
+          Alcotest.test_case "recv_poll" `Quick test_recv_poll;
+        ] );
+      ( "combinators",
+        [
+          Alcotest.test_case "wrap" `Quick test_wrap;
+          Alcotest.test_case "wrap composition" `Quick test_wrap_composition;
+          Alcotest.test_case "wrap thread" `Quick
+            test_wrap_runs_in_syncing_thread;
+          Alcotest.test_case "guard at sync" `Quick test_guard_forced_at_sync;
+          Alcotest.test_case "choose ready" `Quick test_choose_takes_ready;
+          Alcotest.test_case "choose always" `Quick
+            test_choose_always_vs_blocked;
+          Alcotest.test_case "choose blocks" `Quick test_choose_blocks_until_any;
+          Alcotest.test_case "choice commits once" `Quick
+            test_choice_commits_once;
+          Alcotest.test_case "send event in choice" `Quick
+            test_send_evt_in_choice;
+          Alcotest.test_case "never neutral" `Quick test_never_in_choice;
+          Alcotest.test_case "guard of choice" `Quick test_guard_of_choice;
+        ] );
+      ( "timeouts",
+        [
+          Alcotest.test_case "fires" `Quick test_timeout_fires;
+          Alcotest.test_case "loses to ready sender" `Quick
+            test_timeout_loses_to_ready_sender;
+          Alcotest.test_case "virtual duration" `Quick
+            test_timeout_virtual_duration;
+          Alcotest.test_case "late sender" `Quick
+            test_timeout_sender_arrives_later;
+          Alcotest.test_case "stale timeout inert" `Quick
+            test_timeout_stale_after_commit;
+        ] );
+      ( "pipelines",
+        [
+          Alcotest.test_case "filters" `Quick test_pipeline_of_filters;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong;
+          Alcotest.test_case "fan-in" `Quick test_many_to_one;
+        ] );
+      ( "wrap_abort",
+        [
+          Alcotest.test_case "loser runs" `Quick test_wrap_abort_loser_runs;
+          Alcotest.test_case "winner skipped" `Quick
+            test_wrap_abort_winner_skipped;
+          Alcotest.test_case "blocked choice" `Quick
+            test_wrap_abort_on_blocked_choice;
+        ] );
+      ( "properties",
+        [ qt prop_sync_returns_reachable_leaf; qt prop_wrap_distributes_over_choose ] );
+    ]

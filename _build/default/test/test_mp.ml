@@ -1,0 +1,378 @@
+(* MP platform backends: the PROC/LOCK/WORK contracts on the uniprocessor
+   and domains backends — acquire/release, per-proc data, proc limits,
+   deadlock detection, exceptions, stats. *)
+
+open Mp
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* ---------------- uniprocessor ---------------- *)
+
+module U = Mp_uniproc.Int ()
+
+let test_uni_acquire_fails () =
+  checkb "No_More_Procs" true
+    (U.run (fun () ->
+         let k =
+           Kont_util.cont_of_thunk ~on_return:(fun () -> ()) (fun () -> ())
+         in
+         match U.Proc.acquire_proc (U.Proc.PS (k, 1)) with
+         | () -> false
+         | exception U.Proc.No_More_Procs -> true))
+
+let test_uni_datum () =
+  let v =
+    U.run (fun () ->
+        U.Proc.set_datum 5;
+        U.Proc.get_datum ())
+  in
+  check "datum round trip" 5 v
+
+let test_uni_identity () =
+  U.run (fun () ->
+      check "self" 0 (U.Proc.self ());
+      check "max" 1 (U.Proc.max_procs ());
+      check "live" 1 (U.Proc.live_procs ()))
+
+let test_uni_release_deadlocks () =
+  checkb "deadlock reported" true
+    (match U.run (fun () -> U.Proc.release_proc ()) with
+    | _ -> false
+    | exception Mp_intf.Deadlock _ -> true)
+
+let test_uni_lock_deadlock_detected () =
+  U.run (fun () ->
+      let l = U.Lock.mutex_lock () in
+      U.Lock.lock l;
+      match U.Lock.lock l with
+      | () -> Alcotest.fail "expected failure"
+      | exception Failure _ -> ())
+
+let test_uni_work_noops () =
+  U.run (fun () ->
+      U.Work.charge 100;
+      U.Work.alloc ~words:100;
+      U.Work.step ~instrs:100 ();
+      U.Work.idle ();
+      checkb "wall clock advances" true (U.Work.now () > 0.))
+
+let test_uni_poll_hook () =
+  let hits = ref 0 in
+  U.run (fun () ->
+      U.Work.set_poll_hook (fun () -> incr hits);
+      U.Work.poll ();
+      U.Work.step ~instrs:1 ());
+  U.Work.set_poll_hook (fun () -> ());
+  check "hook invoked at safe points" 2 !hits
+
+let test_uni_stats () =
+  ignore (U.run (fun () -> 1));
+  let st = U.stats () in
+  check "procs" 1 st.Stats.procs;
+  checkb "elapsed measured" true (st.Stats.elapsed >= 0.)
+
+let test_uni_not_reentrant () =
+  U.run (fun () ->
+      match U.run (fun () -> 0) with
+      | _ -> Alcotest.fail "expected rejection"
+      | exception Invalid_argument _ -> ())
+
+(* ---------------- domains ---------------- *)
+
+module D =
+  Mp_domains.Int (struct
+      let max_procs = 4
+    end)
+    ()
+
+let test_dom_acquire_release () =
+  let v =
+    D.run (fun () ->
+        (* manufacture a worker that bumps a cell then releases its proc *)
+        let cell = Atomic.make 0 in
+        let worker =
+          Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc (fun () ->
+              Atomic.incr cell)
+        in
+        D.Proc.acquire_proc (D.Proc.PS (worker, 7));
+        (* wait for it *)
+        while Atomic.get cell = 0 do
+          Domain.cpu_relax ()
+        done;
+        Atomic.get cell)
+  in
+  check "worker ran" 1 v
+
+let test_dom_no_more_procs () =
+  checkb "limit enforced" true
+    (D.run (fun () ->
+         (* occupy all three spare procs with spinning workers *)
+         let stop = Atomic.make false in
+         let spin =
+           fun () ->
+            while not (Atomic.get stop) do
+              Domain.cpu_relax ()
+            done
+         in
+         let acquired = ref 0 in
+         (try
+            for _ = 1 to 10 do
+              D.Proc.acquire_proc
+                (D.Proc.PS
+                   ( Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc spin,
+                     0 ));
+              incr acquired
+            done
+          with D.Proc.No_More_Procs -> ());
+         let limited = !acquired = 3 in
+         Atomic.set stop true;
+         limited))
+
+let test_dom_datum_per_proc () =
+  let data =
+    D.run (fun () ->
+        D.Proc.set_datum 100;
+        let worker_datum = Atomic.make (-1) in
+        let worker =
+          Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc (fun () ->
+              (* this proc's datum was set by acquire_proc *)
+              Atomic.set worker_datum (D.Proc.get_datum ()))
+        in
+        D.Proc.acquire_proc (D.Proc.PS (worker, 42));
+        while Atomic.get worker_datum < 0 do
+          Domain.cpu_relax ()
+        done;
+        (D.Proc.get_datum (), Atomic.get worker_datum))
+  in
+  Alcotest.(check (pair int int)) "independent data" (100, 42) data
+
+let test_dom_proc_reuse () =
+  (* acquire, release, re-acquire: the paper's kernel-thread reuse *)
+  let v =
+    D.run (fun () ->
+        let count = Atomic.make 0 in
+        for _ = 1 to 5 do
+          let w =
+            Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc (fun () ->
+                Atomic.incr count)
+          in
+          D.Proc.acquire_proc (D.Proc.PS (w, 0));
+          (* wait for the release so the slot can be reused *)
+          while D.Proc.live_procs () > 1 do
+            Domain.cpu_relax ()
+          done
+        done;
+        Atomic.get count)
+  in
+  check "all five workers ran on reused procs" 5 v
+
+let test_dom_exception_propagates () =
+  Alcotest.check_raises "root exn" (Failure "bang") (fun () ->
+      ignore (D.run (fun () -> failwith "bang")))
+
+let test_dom_deadlock_detected () =
+  checkb "deadlock reported" true
+    (match D.run (fun () -> D.Proc.release_proc ()) with
+    | _ -> false
+    | exception Mp_intf.Deadlock _ -> true)
+
+let test_dom_sequential_runs () =
+  check "first" 1 (D.run (fun () -> 1));
+  check "second" 2 (D.run (fun () -> 2))
+
+let test_dom_result_from_migrated_fiber () =
+  (* the root fiber blocks, migrates to another proc, and finishes there *)
+  let v =
+    D.run (fun () ->
+        let resumer : int Engine.cont option Atomic.t = Atomic.make None in
+        Engine.callcc (fun (k : int Engine.cont) ->
+            (* hand our continuation to a fresh proc and stop this one *)
+            let w =
+              Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc (fun () ->
+                  match Atomic.get resumer with
+                  | Some k -> Engine.throw k 99
+                  | None -> ())
+            in
+            Atomic.set resumer (Some k);
+            D.Proc.acquire_proc (D.Proc.PS (w, 0));
+            D.Proc.release_proc ()))
+  in
+  check "root result produced on another proc" 99 v
+
+let test_dom_lock_mutual_exclusion () =
+  let v =
+    D.run (fun () ->
+        let l = D.Lock.mutex_lock () in
+        let counter = ref 0 in
+        let done_ = Atomic.make 0 in
+        let iters = 2_000 in
+        let body () =
+          for _ = 1 to iters do
+            D.Lock.lock l;
+            incr counter;
+            D.Lock.unlock l
+          done;
+          Atomic.incr done_
+        in
+        for _ = 1 to 3 do
+          D.Proc.acquire_proc
+            (D.Proc.PS
+               (Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc body, 0))
+        done;
+        body ();
+        while Atomic.get done_ < 4 do
+          Domain.cpu_relax ()
+        done;
+        !counter)
+  in
+  check "no lost updates" 8_000 v
+
+let test_dom_stats_busy () =
+  ignore (D.run (fun () -> Unix.sleepf 0.01));
+  let st = D.stats () in
+  checkb "root proc busy recorded" true (st.Stats.per_proc.(0).Stats.busy > 0.)
+
+(* ---------------- signals (§3.4) ---------------- *)
+
+module Sig = Mp_signal.Make (U)
+
+let test_sig_install_and_poll () =
+  Sig.reset ();
+  U.run (fun () ->
+      let hits = ref [] in
+      Sig.install 3 (Some (fun s -> hits := s :: !hits));
+      Sig.deliver 3;
+      check "pending before poll" 1 (Sig.pending ());
+      Sig.poll ();
+      check "handled" 1 (List.length !hits);
+      check "drained" 0 (Sig.pending ());
+      Sig.poll ();
+      check "delivered once" 1 (List.length !hits))
+
+let test_sig_masking () =
+  Sig.reset ();
+  U.run (fun () ->
+      let hits = ref 0 in
+      Sig.install 5 (Some (fun _ -> incr hits));
+      Sig.mask 5;
+      checkb "masked" true (Sig.is_masked 5);
+      Sig.deliver 5;
+      Sig.poll ();
+      check "masked signal stays pending" 0 !hits;
+      check "still pending" 1 (Sig.pending ());
+      Sig.unmask 5;
+      Sig.poll ();
+      check "delivered after unmask" 1 !hits)
+
+let test_sig_no_handler () =
+  Sig.reset ();
+  U.run (fun () ->
+      Sig.deliver 7;
+      (* polling a signal with no handler simply discards it *)
+      Sig.poll ();
+      check "discarded" 0 (Sig.pending ()))
+
+let test_sig_remove_handler () =
+  Sig.reset ();
+  U.run (fun () ->
+      let hits = ref 0 in
+      Sig.install 2 (Some (fun _ -> incr hits));
+      Sig.install 2 None;
+      Sig.deliver 2;
+      Sig.poll ();
+      check "removed handler not called" 0 !hits)
+
+let test_sig_out_of_range () =
+  U.run (fun () ->
+      match Sig.deliver 9999 with
+      | () -> Alcotest.fail "expected rejection"
+      | exception Invalid_argument _ -> ())
+
+module SigD = Mp_signal.Make (D)
+
+let test_sig_broadcast_all_procs () =
+  Sig.reset ();
+  let v =
+    D.run (fun () ->
+        SigD.reset ();
+        let handled = Atomic.make 0 in
+        SigD.install 1 (Some (fun _ -> Atomic.incr handled));
+        let worker_done = Atomic.make 0 in
+        let worker () =
+          (* each proc polls and handles its own copy *)
+          while Atomic.get handled = 0 && SigD.pending () = 0 do
+            Domain.cpu_relax ()
+          done;
+          SigD.poll ();
+          Atomic.incr worker_done
+        in
+        for _ = 1 to 2 do
+          D.Proc.acquire_proc
+            (D.Proc.PS
+               (Kont_util.cont_of_thunk ~on_return:D.Proc.release_proc worker, 0))
+        done;
+        SigD.deliver 1;
+        SigD.poll ();
+        while Atomic.get worker_done < 2 do
+          Domain.cpu_relax ()
+        done;
+        Atomic.get handled)
+  in
+  check "every proc received the signal" 3 v
+
+let test_sig_deliver_to_one () =
+  Sig.reset ();
+  U.run (fun () ->
+      let hits = ref 0 in
+      Sig.install 4 (Some (fun _ -> incr hits));
+      Sig.deliver_to ~proc:0 4;
+      Sig.poll ();
+      check "targeted delivery" 1 !hits)
+
+let () =
+  Alcotest.run "mp"
+    [
+      ( "uniproc",
+        [
+          Alcotest.test_case "acquire fails" `Quick test_uni_acquire_fails;
+          Alcotest.test_case "datum" `Quick test_uni_datum;
+          Alcotest.test_case "identity" `Quick test_uni_identity;
+          Alcotest.test_case "release deadlocks" `Quick
+            test_uni_release_deadlocks;
+          Alcotest.test_case "lock deadlock detected" `Quick
+            test_uni_lock_deadlock_detected;
+          Alcotest.test_case "work no-ops" `Quick test_uni_work_noops;
+          Alcotest.test_case "poll hook" `Quick test_uni_poll_hook;
+          Alcotest.test_case "stats" `Quick test_uni_stats;
+          Alcotest.test_case "not reentrant" `Quick test_uni_not_reentrant;
+        ] );
+      ( "domains",
+        [
+          Alcotest.test_case "acquire/release" `Quick test_dom_acquire_release;
+          Alcotest.test_case "No_More_Procs" `Quick test_dom_no_more_procs;
+          Alcotest.test_case "datum per proc" `Quick test_dom_datum_per_proc;
+          Alcotest.test_case "proc reuse" `Quick test_dom_proc_reuse;
+          Alcotest.test_case "exception propagates" `Quick
+            test_dom_exception_propagates;
+          Alcotest.test_case "deadlock detected" `Quick
+            test_dom_deadlock_detected;
+          Alcotest.test_case "sequential runs" `Quick test_dom_sequential_runs;
+          Alcotest.test_case "migrated root fiber" `Quick
+            test_dom_result_from_migrated_fiber;
+          Alcotest.test_case "lock mutual exclusion" `Slow
+            test_dom_lock_mutual_exclusion;
+          Alcotest.test_case "stats busy" `Quick test_dom_stats_busy;
+        ] );
+      ( "signals",
+        [
+          Alcotest.test_case "install and poll" `Quick test_sig_install_and_poll;
+          Alcotest.test_case "masking" `Quick test_sig_masking;
+          Alcotest.test_case "no handler" `Quick test_sig_no_handler;
+          Alcotest.test_case "remove handler" `Quick test_sig_remove_handler;
+          Alcotest.test_case "out of range" `Quick test_sig_out_of_range;
+          Alcotest.test_case "broadcast to all procs" `Quick
+            test_sig_broadcast_all_procs;
+          Alcotest.test_case "deliver to one" `Quick test_sig_deliver_to_one;
+        ] );
+    ]

@@ -1,0 +1,456 @@
+(* Queue disciplines: unit tests per implementation plus qcheck properties
+   (order laws, permutation preservation, bounds). *)
+
+open Queues
+
+let check = Alcotest.(check int)
+let check_list = Alcotest.(check (list int))
+let checkb = Alcotest.(check bool)
+
+let drain deq_opt q =
+  let rec go acc =
+    match deq_opt q with Some x -> go (x :: acc) | None -> List.rev acc
+  in
+  go []
+
+(* ---------------- FIFO ---------------- *)
+
+let test_fifo_order () =
+  let q = Fifo_queue.create () in
+  List.iter (Fifo_queue.enq q) [ 1; 2; 3; 4 ];
+  check_list "fifo" [ 1; 2; 3; 4 ] (drain Fifo_queue.deq_opt q)
+
+let test_fifo_empty () =
+  let q = Fifo_queue.create () in
+  Alcotest.check_raises "empty" Queue_intf.Empty (fun () ->
+      ignore (Fifo_queue.deq q))
+
+let test_fifo_interleaved () =
+  let q = Fifo_queue.create () in
+  Fifo_queue.enq q 1;
+  Fifo_queue.enq q 2;
+  check "first" 1 (Fifo_queue.deq q);
+  Fifo_queue.enq q 3;
+  check "second" 2 (Fifo_queue.deq q);
+  check "third" 3 (Fifo_queue.deq q);
+  check "len" 0 (Fifo_queue.length q)
+
+let test_fifo_length () =
+  let q = Fifo_queue.create () in
+  checkb "empty" true (Fifo_queue.is_empty q);
+  List.iter (Fifo_queue.enq q) [ 1; 2; 3 ];
+  check "len" 3 (Fifo_queue.length q);
+  ignore (Fifo_queue.deq q);
+  check "len after deq" 2 (Fifo_queue.length q)
+
+(* ---------------- LIFO ---------------- *)
+
+let test_lifo_order () =
+  let q = Lifo_queue.create () in
+  List.iter (Lifo_queue.enq q) [ 1; 2; 3 ];
+  check_list "lifo" [ 3; 2; 1 ] (drain Lifo_queue.deq_opt q)
+
+let test_lifo_empty () =
+  let q = Lifo_queue.create () in
+  Alcotest.check_raises "empty" Queue_intf.Empty (fun () ->
+      ignore (Lifo_queue.deq q))
+
+(* ---------------- Random ---------------- *)
+
+let test_random_is_permutation () =
+  let q = Random_queue.create_seeded 7 in
+  let input = List.init 50 Fun.id in
+  List.iter (Random_queue.enq q) input;
+  let out = drain Random_queue.deq_opt q in
+  check_list "permutation" input (List.sort compare out)
+
+let test_random_deterministic_by_seed () =
+  let run seed =
+    let q = Random_queue.create_seeded seed in
+    List.iter (Random_queue.enq q) (List.init 20 Fun.id);
+    drain Random_queue.deq_opt q
+  in
+  check_list "same seed, same order" (run 5) (run 5);
+  checkb "different seeds differ somewhere" true (run 5 <> run 6)
+
+(* ---------------- Priority ---------------- *)
+
+let test_priority_order () =
+  let q = Priority_queue.create () in
+  Priority_queue.enq q ~priority:1 "low";
+  Priority_queue.enq q ~priority:9 "high";
+  Priority_queue.enq q ~priority:5 "mid";
+  let a = Priority_queue.deq q in
+  let b = Priority_queue.deq q in
+  let c = Priority_queue.deq q in
+  Alcotest.(check (list string)) "by priority" [ "high"; "mid"; "low" ] [ a; b; c ]
+
+let test_priority_fifo_among_equals () =
+  let q = Priority_queue.create () in
+  List.iter (fun x -> Priority_queue.enq q ~priority:3 x) [ 1; 2; 3; 4 ];
+  let out = List.init 4 (fun _ -> Priority_queue.deq q) in
+  check_list "insertion order among equals" [ 1; 2; 3; 4 ] out
+
+let test_priority_as_queue () =
+  let module Q = Priority_queue.As_queue (struct
+    let priority = 0
+  end) in
+  let q = Q.create () in
+  List.iter (Q.enq q) [ 1; 2; 3 ];
+  check_list "fixed priority = fifo" [ 1; 2; 3 ] (drain Q.deq_opt q)
+
+let test_priority_empty () =
+  let q : int Priority_queue.queue = Priority_queue.create () in
+  Alcotest.check_raises "empty" Queue_intf.Empty (fun () ->
+      ignore (Priority_queue.deq q))
+
+(* ---------------- Deque ---------------- *)
+
+let test_deque_front_back () =
+  let d = Deque.create () in
+  Deque.push_back d 2;
+  Deque.push_back d 3;
+  Deque.push_front d 1;
+  check "front" 1 (Deque.pop_front d);
+  check "back" 3 (Deque.pop_back d);
+  check "middle" 2 (Deque.pop_front d);
+  checkb "empty" true (Deque.is_empty d)
+
+let test_deque_growth () =
+  let d = Deque.create () in
+  for i = 1 to 100 do
+    Deque.push_front d i
+  done;
+  check "len" 100 (Deque.length d);
+  check "front is newest" 100 (Deque.pop_front d);
+  check "back is oldest" 1 (Deque.pop_back d)
+
+let test_deque_fifo_module () =
+  let q = Deque.Fifo.create () in
+  List.iter (Deque.Fifo.enq q) [ 1; 2; 3 ];
+  check_list "fifo view" [ 1; 2; 3 ] (drain Deque.Fifo.deq_opt q)
+
+(* ---------------- Bounded ---------------- *)
+
+let test_bounded_capacity () =
+  let q = Bounded_queue.create ~capacity:2 in
+  Bounded_queue.enq q 1;
+  Bounded_queue.enq q 2;
+  checkb "full" true (Bounded_queue.is_full q);
+  Alcotest.check_raises "full raises" Queue_intf.Full (fun () ->
+      Bounded_queue.enq q 3);
+  checkb "try_enq false" false (Bounded_queue.try_enq q 3);
+  check "deq" 1 (Bounded_queue.deq q);
+  checkb "try_enq true" true (Bounded_queue.try_enq q 3);
+  check "order kept" 2 (Bounded_queue.deq q);
+  check "wrapped" 3 (Bounded_queue.deq q)
+
+let test_bounded_invalid () =
+  Alcotest.check_raises "zero capacity" (Invalid_argument "Bounded_queue.create")
+    (fun () -> ignore (Bounded_queue.create ~capacity:0))
+
+let test_bounded_wraparound () =
+  let q = Bounded_queue.create ~capacity:3 in
+  for round = 0 to 9 do
+    Bounded_queue.enq q round;
+    check "ring order" round (Bounded_queue.deq q)
+  done
+
+(* ---------------- Locked wrapper ---------------- *)
+
+module U = Mp.Mp_uniproc.Int ()
+module LQ = Locked_queue.Make (U.Lock) (Fifo_queue)
+
+let test_locked_queue_basic () =
+  let q = LQ.create () in
+  U.run (fun () ->
+      LQ.enq q 1;
+      LQ.enq q 2;
+      check "fifo through lock" 1 (LQ.deq q);
+      check "length" 1 (LQ.length q);
+      LQ.with_lock q (fun () -> ()))
+
+let test_locked_queue_exn_releases () =
+  let q = LQ.create () in
+  U.run (fun () ->
+      (try LQ.with_lock q (fun () -> failwith "inside") with Failure _ -> ());
+      (* lock must have been released: another operation succeeds *)
+      LQ.enq q 5;
+      check "usable after exn" 5 (LQ.deq q))
+
+(* ---------------- Multi queue ---------------- *)
+
+module MQ = Multi_queue.Make (U.Lock)
+
+let test_multi_local_lifo () =
+  U.run (fun () ->
+      let t = MQ.create ~procs:2 in
+      MQ.push t ~proc:0 1;
+      MQ.push t ~proc:0 2;
+      Alcotest.(check (option int)) "own queue newest first" (Some 2)
+        (MQ.take_local t ~proc:0);
+      Alcotest.(check (option int)) "then older" (Some 1)
+        (MQ.take_local t ~proc:0);
+      Alcotest.(check (option int)) "empty" None (MQ.take_local t ~proc:0))
+
+let test_multi_steal_oldest () =
+  U.run (fun () ->
+      let t = MQ.create ~procs:2 in
+      MQ.push t ~proc:0 1;
+      MQ.push t ~proc:0 2;
+      Alcotest.(check (option int)) "thief takes oldest" (Some 1)
+        (MQ.steal t ~proc:1);
+      check "steal counted" 1 (MQ.steals t))
+
+let test_multi_take_falls_back_to_steal () =
+  U.run (fun () ->
+      let t = MQ.create ~procs:3 in
+      MQ.push t ~proc:2 42;
+      Alcotest.(check (option int)) "take steals" (Some 42) (MQ.take t ~proc:0);
+      Alcotest.(check (option int)) "now all empty" None (MQ.take t ~proc:0))
+
+let test_multi_push_global_distributes () =
+  U.run (fun () ->
+      let t = MQ.create ~procs:4 in
+      for i = 1 to 8 do
+        MQ.push_global t i
+      done;
+      check "total" 8 (MQ.total_length t);
+      (* every proc got something *)
+      for p = 0 to 3 do
+        checkb "proc has work" true (MQ.take_local t ~proc:p <> None)
+      done)
+
+(* ---------------- Chase-Lev work-stealing deque ---------------- *)
+
+let test_ws_lifo_pop () =
+  let d = Ws_deque.create () in
+  List.iter (Ws_deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "newest" (Some 3) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "next" (Some 2) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "oldest" (Some 1) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "empty" None (Ws_deque.pop d)
+
+let test_ws_steal_fifo () =
+  let d = Ws_deque.create () in
+  List.iter (Ws_deque.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "steals oldest" (Some 1) (Ws_deque.steal d);
+  Alcotest.(check (option int)) "then next" (Some 2) (Ws_deque.steal d);
+  Alcotest.(check (option int)) "owner gets the rest" (Some 3) (Ws_deque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Ws_deque.steal d)
+
+let test_ws_growth () =
+  let d = Ws_deque.create () in
+  for i = 1 to 1000 do
+    Ws_deque.push d i
+  done;
+  check "size" 1000 (Ws_deque.size d);
+  (* interleave pops and steals; all values must come out exactly once *)
+  let seen = Array.make 1001 false in
+  let rec drain () =
+    match if Ws_deque.size d mod 2 = 0 then Ws_deque.pop d else Ws_deque.steal d with
+    | Some v ->
+        checkb "no duplicates" false seen.(v);
+        seen.(v) <- true;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check "all drained" 1000
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen)
+
+let test_ws_conservation_under_stealing () =
+  (* one owner pushes/pops, two thieves steal: every pushed value is
+     consumed exactly once *)
+  let d = Ws_deque.create () in
+  let n = 20_000 in
+  let consumed = Atomic.make 0 in
+  let sum = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let thief () =
+    while not (Atomic.get stop) do
+      match Ws_deque.steal d with
+      | Some v ->
+          ignore (Atomic.fetch_and_add sum v);
+          Atomic.incr consumed
+      | None -> Domain.cpu_relax ()
+    done
+  in
+  let thieves = List.init 2 (fun _ -> Domain.spawn thief) in
+  (* owner: push everything, popping now and then *)
+  for i = 1 to n do
+    Ws_deque.push d i;
+    if i mod 3 = 0 then
+      match Ws_deque.pop d with
+      | Some v ->
+          ignore (Atomic.fetch_and_add sum v);
+          Atomic.incr consumed
+      | None -> ()
+  done;
+  (* owner drains what the thieves have not taken *)
+  let rec drain () =
+    match Ws_deque.pop d with
+    | Some v ->
+        ignore (Atomic.fetch_and_add sum v);
+        Atomic.incr consumed;
+        drain ()
+    | None -> if Atomic.get consumed < n then drain ()
+  in
+  drain ();
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  check "every value consumed exactly once" (n * (n + 1) / 2) (Atomic.get sum);
+  check "count" n (Atomic.get consumed)
+
+(* ---------------- qcheck properties ---------------- *)
+
+let prop_fifo_preserves_order =
+  QCheck.Test.make ~name:"fifo: drain = input" ~count:200
+    QCheck.(list small_int)
+    (fun input ->
+      let q = Fifo_queue.create () in
+      List.iter (Fifo_queue.enq q) input;
+      drain Fifo_queue.deq_opt q = input)
+
+let prop_lifo_reverses =
+  QCheck.Test.make ~name:"lifo: drain = rev input" ~count:200
+    QCheck.(list small_int)
+    (fun input ->
+      let q = Lifo_queue.create () in
+      List.iter (Lifo_queue.enq q) input;
+      drain Lifo_queue.deq_opt q = List.rev input)
+
+let prop_random_permutes =
+  QCheck.Test.make ~name:"random: drain is a permutation" ~count:200
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, input) ->
+      let q = Random_queue.create_seeded seed in
+      List.iter (Random_queue.enq q) input;
+      List.sort compare (drain Random_queue.deq_opt q)
+      = List.sort compare input)
+
+let prop_priority_sorted =
+  QCheck.Test.make ~name:"priority: drain sorted by priority desc" ~count:200
+    QCheck.(list (pair small_int small_int))
+    (fun input ->
+      let q = Priority_queue.create () in
+      List.iter (fun (p, v) -> Priority_queue.enq q ~priority:p v) input;
+      let rec go acc =
+        match Priority_queue.deq_opt q with
+        | Some _ as x -> go (x :: acc)
+        | None -> List.rev acc
+      in
+      ignore (go []);
+      (* drain priorities must be non-increasing *)
+      let q2 = Priority_queue.create () in
+      List.iter (fun (p, _) -> Priority_queue.enq q2 ~priority:p p) input;
+      let rec drain2 acc =
+        match Priority_queue.deq_opt q2 with
+        | Some p -> drain2 (p :: acc)
+        | None -> List.rev acc
+      in
+      let ps = drain2 [] in
+      ps = List.sort (fun a b -> compare b a) ps)
+
+let prop_deque_double_ended =
+  QCheck.Test.make ~name:"deque: pop_front after push_back preserves order"
+    ~count:200
+    QCheck.(list small_int)
+    (fun input ->
+      let d = Deque.create () in
+      List.iter (Deque.push_back d) input;
+      let rec go acc =
+        match Deque.pop_front_opt d with
+        | Some x -> go (x :: acc)
+        | None -> List.rev acc
+      in
+      go [] = input)
+
+let prop_bounded_never_exceeds =
+  QCheck.Test.make ~name:"bounded: length <= capacity always" ~count:200
+    QCheck.(pair (int_range 1 8) (list bool))
+    (fun (cap, ops) ->
+      let q = Bounded_queue.create ~capacity:cap in
+      List.for_all
+        (fun op ->
+          (if op then ignore (Bounded_queue.try_enq q 0)
+           else ignore (Bounded_queue.deq_opt q));
+          Bounded_queue.length q <= cap)
+        ops)
+
+let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+
+let () =
+  Alcotest.run "queues"
+    [
+      ( "fifo",
+        [
+          Alcotest.test_case "order" `Quick test_fifo_order;
+          Alcotest.test_case "empty raises" `Quick test_fifo_empty;
+          Alcotest.test_case "interleaved" `Quick test_fifo_interleaved;
+          Alcotest.test_case "length" `Quick test_fifo_length;
+        ] );
+      ( "lifo",
+        [
+          Alcotest.test_case "order" `Quick test_lifo_order;
+          Alcotest.test_case "empty raises" `Quick test_lifo_empty;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "permutation" `Quick test_random_is_permutation;
+          Alcotest.test_case "seed-deterministic" `Quick
+            test_random_deterministic_by_seed;
+        ] );
+      ( "priority",
+        [
+          Alcotest.test_case "order" `Quick test_priority_order;
+          Alcotest.test_case "fifo among equals" `Quick
+            test_priority_fifo_among_equals;
+          Alcotest.test_case "as QUEUE" `Quick test_priority_as_queue;
+          Alcotest.test_case "empty raises" `Quick test_priority_empty;
+        ] );
+      ( "deque",
+        [
+          Alcotest.test_case "front/back" `Quick test_deque_front_back;
+          Alcotest.test_case "growth" `Quick test_deque_growth;
+          Alcotest.test_case "fifo module" `Quick test_deque_fifo_module;
+        ] );
+      ( "bounded",
+        [
+          Alcotest.test_case "capacity" `Quick test_bounded_capacity;
+          Alcotest.test_case "invalid" `Quick test_bounded_invalid;
+          Alcotest.test_case "wraparound" `Quick test_bounded_wraparound;
+        ] );
+      ( "locked",
+        [
+          Alcotest.test_case "basic" `Quick test_locked_queue_basic;
+          Alcotest.test_case "exception releases lock" `Quick
+            test_locked_queue_exn_releases;
+        ] );
+      ( "multi",
+        [
+          Alcotest.test_case "local lifo" `Quick test_multi_local_lifo;
+          Alcotest.test_case "steal oldest" `Quick test_multi_steal_oldest;
+          Alcotest.test_case "take falls back" `Quick
+            test_multi_take_falls_back_to_steal;
+          Alcotest.test_case "push_global distributes" `Quick
+            test_multi_push_global_distributes;
+        ] );
+      ( "ws_deque",
+        [
+          Alcotest.test_case "lifo pop" `Quick test_ws_lifo_pop;
+          Alcotest.test_case "steal fifo" `Quick test_ws_steal_fifo;
+          Alcotest.test_case "growth + drain" `Quick test_ws_growth;
+          Alcotest.test_case "conservation under stealing" `Slow
+            test_ws_conservation_under_stealing;
+        ] );
+      qsuite "properties"
+        [
+          prop_fifo_preserves_order;
+          prop_lifo_reverses;
+          prop_random_permutes;
+          prop_priority_sorted;
+          prop_deque_double_ended;
+          prop_bounded_never_exceeds;
+        ];
+    ]

@@ -1,0 +1,233 @@
+(* Reporting/harness pieces: renderers, the LoC inventory, the analytic
+   model, and a reduced experiment sweep with verified results. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let render_to_string f =
+  let buf = Buffer.create 256 in
+  let fmt = Format.formatter_of_buffer buf in
+  f fmt;
+  Format.pp_print_flush fmt ();
+  Buffer.contents buf
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+(* ---------------- render ---------------- *)
+
+let test_table_alignment () =
+  let out =
+    render_to_string (fun fmt ->
+        Report.Render.table fmt ~header:[ "a"; "bb" ]
+          ~rows:[ [ "xxx"; "y" ]; [ "z"; "wwww" ] ])
+  in
+  checkb "header present" true (contains out "a    bb");
+  checkb "rule present" true (contains out "---");
+  checkb "rows present" true (contains out "xxx" && contains out "wwww")
+
+let test_series () =
+  let out =
+    render_to_string (fun fmt ->
+        Report.Render.series fmt ~xlabel:"s" ~xs:[ 1; 2 ]
+          ~rows:[ ("bench", [ 1.0; 2.5 ]) ])
+  in
+  checkb "values formatted" true (contains out "1.00" && contains out "2.50")
+
+let test_chart_has_legend () =
+  let out =
+    render_to_string (fun fmt ->
+        Report.Render.chart fmt ~xs:[ 1; 2; 4 ]
+          ~rows:[ ("one", [ 1.; 2.; 4. ]); ("two", [ 1.; 1.5; 2. ]) ]
+          ())
+  in
+  checkb "legend" true (contains out "A = one" && contains out "B = two")
+
+let test_section () =
+  let out = render_to_string (fun fmt -> Report.Render.section fmt "Title") in
+  checkb "banner" true (contains out "==  Title  ==")
+
+let test_table_empty_rows () =
+  let out =
+    render_to_string (fun fmt -> Report.Render.table fmt ~header:[ "h" ] ~rows:[])
+  in
+  checkb "header still printed" true (contains out "h")
+
+let test_chart_scales_to_max () =
+  let out =
+    render_to_string (fun fmt ->
+        Report.Render.chart fmt ~xs:[ 1; 16 ] ~rows:[ ("s", [ 1.0; 12.5 ]) ] ())
+  in
+  checkb "y axis reaches the max value" true (contains out "12.5")
+
+(* ---------------- stats ---------------- *)
+
+let test_stats_zero () =
+  let t = Mp.Stats.zero ~platform:"x" ~procs:3 in
+  check "procs" 3 (Array.length t.Mp.Stats.per_proc);
+  Alcotest.(check (float 0.)) "idle fraction of empty" 0. (Mp.Stats.idle_fraction t);
+  Alcotest.(check (float 0.)) "gc fraction of empty" 0. (Mp.Stats.gc_fraction t);
+  Alcotest.(check (float 0.)) "bus util of empty" 0. (Mp.Stats.bus_utilization t)
+
+let test_stats_fractions () =
+  let t = Mp.Stats.zero ~platform:"x" ~procs:2 in
+  t.Mp.Stats.per_proc.(0).Mp.Stats.busy <- 3.;
+  t.Mp.Stats.per_proc.(0).Mp.Stats.idle <- 1.;
+  t.Mp.Stats.per_proc.(1).Mp.Stats.busy <- 2.;
+  t.Mp.Stats.per_proc.(1).Mp.Stats.idle <- 2.;
+  Alcotest.(check (float 1e-9)) "idle = (1+2)/(3+1+2+2)" (3. /. 8.)
+    (Mp.Stats.idle_fraction t);
+  t.Mp.Stats.per_proc.(0).Mp.Stats.lock_spins <- 5;
+  t.Mp.Stats.per_proc.(1).Mp.Stats.lock_spins <- 7;
+  check "spins total" 12 (Mp.Stats.total_lock_spins t);
+  t.Mp.Stats.per_proc.(0).Mp.Stats.alloc_words <- 10;
+  check "alloc total" 10 (Mp.Stats.total_alloc_words t)
+
+let test_stats_pp () =
+  let t = Mp.Stats.zero ~platform:"plat" ~procs:1 in
+  let out = render_to_string (fun fmt -> Mp.Stats.pp fmt t) in
+  checkb "platform named" true (contains out "plat")
+
+(* ---------------- loc_count ---------------- *)
+
+let test_loc_finds_root () =
+  match Report.Loc_count.find_root () with
+  | None -> Alcotest.fail "project root not found"
+  | Some root ->
+      checkb "has dune-project" true
+        (Sys.file_exists (Filename.concat root "dune-project"))
+
+let test_loc_scan () =
+  match Report.Loc_count.find_root () with
+  | None -> Alcotest.fail "project root not found"
+  | Some root ->
+      let entries = Report.Loc_count.scan ~root in
+      checkb "nonempty" true (entries <> []);
+      let total =
+        List.fold_left (fun a e -> a + e.Report.Loc_count.lines) 0 entries
+      in
+      checkb "substantial codebase" true (total > 3_000);
+      let kinds = List.map (fun e -> e.Report.Loc_count.kind) entries in
+      checkb "has system-dependent parts" true
+        (List.mem "system-dependent" kinds);
+      checkb "has generic parts" true (List.mem "generic" kinds)
+
+(* ---------------- model ---------------- *)
+
+let test_model_amdahl () =
+  let p =
+    Model.Speedup_model.
+      { work = 16.; serial = 0.; gc = 0.; bus_seconds = 0.; max_par = infinity }
+  in
+  Alcotest.(check (float 1e-6))
+    "perfect scaling" 16.
+    (Model.Speedup_model.speedup p ~procs:16);
+  let p2 = { p with gc = 1. } in
+  checkb "gc caps speedup" true (Model.Speedup_model.speedup p2 ~procs:16 < 9.)
+
+let test_model_bus_floor () =
+  let p =
+    Model.Speedup_model.
+      { work = 10.; serial = 0.; gc = 0.; bus_seconds = 5.; max_par = infinity }
+  in
+  Alcotest.(check (float 1e-6))
+    "bus-bound time" 5.
+    (Model.Speedup_model.time p ~procs:16)
+
+let test_model_parallelism_cap () =
+  let p =
+    Model.Speedup_model.
+      { work = 12.; serial = 0.; gc = 0.; bus_seconds = 0.; max_par = 4. }
+  in
+  Alcotest.(check (float 1e-6))
+    "capped at 4" 4.
+    (Model.Speedup_model.speedup p ~procs:16)
+
+let test_model_fit () =
+  let p =
+    Model.Speedup_model.fit ~elapsed1:10. ~gc1:2. ~bus_busy1:1. ~serial:1. ()
+  in
+  Alcotest.(check (float 1e-6)) "work" 7. p.Model.Speedup_model.work;
+  Alcotest.(check (float 1e-6)) "gc kept" 2. p.Model.Speedup_model.gc
+
+(* ---------------- experiments (reduced sweep) ---------------- *)
+
+let samples = lazy (Report.Experiments.sequent_sweep ~plist:[ 1; 4 ] ())
+
+let test_sweep_all_verified () =
+  let s = Lazy.force samples in
+  check "6 benches x 2 points" 12 (List.length s);
+  checkb "every checksum verified" true
+    (List.for_all (fun x -> x.Report.Experiments.verified) s)
+
+let test_sweep_speedups_reasonable () =
+  let s = Lazy.force samples in
+  List.iter
+    (fun bench ->
+      let sp = Report.Experiments.speedup s ~bench ~procs:4 in
+      checkb (bench ^ " speedup in (1, 4.2]") true (sp > 1.0 && sp <= 4.2))
+    [ "allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq" ]
+
+let test_sweep_no_gc_at_least_as_fast () =
+  let s = Lazy.force samples in
+  List.iter
+    (fun bench ->
+      let sp = Report.Experiments.speedup s ~bench ~procs:4 in
+      let sp_nogc = Report.Experiments.speedup_no_gc s ~bench ~procs:4 in
+      checkb (bench ^ " gc exclusion not worse") true (sp_nogc >= sp -. 0.3))
+    [ "allpairs"; "abisort"; "mm" ]
+
+let test_print_sections_smoke () =
+  let s = Lazy.force samples in
+  let out =
+    render_to_string (fun fmt ->
+        Report.Experiments.print_fig6 fmt s;
+        Report.Experiments.print_idle fmt s;
+        Report.Experiments.print_bus fmt s;
+        Report.Experiments.print_gc_ablation fmt s)
+  in
+  checkb "fig6 section" true (contains out "Figure 6");
+  checkb "verification line" true (contains out "all verified");
+  checkb "gc table" true (contains out "speedup w/o GC")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "render",
+        [
+          Alcotest.test_case "table" `Quick test_table_alignment;
+          Alcotest.test_case "series" `Quick test_series;
+          Alcotest.test_case "chart legend" `Quick test_chart_has_legend;
+          Alcotest.test_case "section" `Quick test_section;
+          Alcotest.test_case "empty rows" `Quick test_table_empty_rows;
+          Alcotest.test_case "chart scale" `Quick test_chart_scales_to_max;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "zero" `Quick test_stats_zero;
+          Alcotest.test_case "fractions" `Quick test_stats_fractions;
+          Alcotest.test_case "pp" `Quick test_stats_pp;
+        ] );
+      ( "loc",
+        [
+          Alcotest.test_case "find root" `Quick test_loc_finds_root;
+          Alcotest.test_case "scan" `Quick test_loc_scan;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "amdahl" `Quick test_model_amdahl;
+          Alcotest.test_case "bus floor" `Quick test_model_bus_floor;
+          Alcotest.test_case "parallelism cap" `Quick test_model_parallelism_cap;
+          Alcotest.test_case "fit" `Quick test_model_fit;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "sweep verified" `Slow test_sweep_all_verified;
+          Alcotest.test_case "speedups reasonable" `Slow
+            test_sweep_speedups_reasonable;
+          Alcotest.test_case "gc exclusion" `Slow test_sweep_no_gc_at_least_as_fast;
+          Alcotest.test_case "print sections" `Slow test_print_sections_smoke;
+        ] );
+    ]

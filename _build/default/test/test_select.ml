@@ -1,0 +1,290 @@
+(* Selective communication (Figures 4-5).  Most tests run on the simulated
+   backend, where scheduling is deterministic; a stress test runs on real
+   domains. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+(* deterministic platform *)
+module P =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:4 ()
+    end)
+    ()
+
+module S = Mpthreads.Sched_thread.Make (P)
+module Sel = Select.Make (P) (S) (Queues.Fifo_queue)
+
+let in_pool ?procs f = P.run (fun () -> S.with_pool ?procs f)
+
+let test_send_then_receive () =
+  let v =
+    in_pool (fun () ->
+        let c = Sel.chan () in
+        S.fork (fun () -> Sel.send (c, 41));
+        S.yield ();
+        Sel.receive [ c ])
+  in
+  check "value" 41 v
+
+let test_receive_then_send () =
+  let v =
+    in_pool (fun () ->
+        let c = Sel.chan () in
+        let got = ref 0 in
+        S.fork (fun () -> got := Sel.receive [ c ]);
+        S.yield ();
+        Sel.send (c, 17);
+        (* receiver resumes on some proc; wait for it *)
+        while !got = 0 do
+          S.yield ()
+        done;
+        !got)
+  in
+  check "value" 17 v
+
+let test_fifo_sender_order () =
+  let v =
+    in_pool ~procs:1 (fun () ->
+        let c = Sel.chan () in
+        S.fork (fun () -> Sel.send (c, 1));
+        S.fork (fun () -> Sel.send (c, 2));
+        S.fork (fun () -> Sel.send (c, 3));
+        S.yield ();
+        let a = Sel.receive [ c ] in
+        let b = Sel.receive [ c ] in
+        let d = Sel.receive [ c ] in
+        (a * 100) + (b * 10) + d)
+  in
+  check "fifo queue of blocked senders" 123 v
+
+let test_select_from_ready_channel () =
+  Sel.set_seed 1;
+  let v =
+    in_pool (fun () ->
+        let c1 = Sel.chan () and c2 = Sel.chan () in
+        S.fork (fun () -> Sel.send (c2, 5));
+        S.yield ();
+        (* only c2 has a sender: receive must pick it whatever the order *)
+        Sel.receive [ c1; c2 ])
+  in
+  check "picks the ready channel" 5 v
+
+let test_select_many_channels () =
+  Sel.set_seed 2;
+  let v =
+    in_pool (fun () ->
+        let chans = List.init 10 (fun _ -> Sel.chan ()) in
+        List.iteri
+          (fun i c -> S.fork (fun () -> Sel.send (c, i)))
+          chans;
+        S.yield ();
+        (* drain all ten via repeated selective receive *)
+        let sum = ref 0 in
+        for _ = 1 to 10 do
+          sum := !sum + Sel.receive chans
+        done;
+        !sum)
+  in
+  check "all values received exactly once" 45 v
+
+let test_two_receivers_one_sender () =
+  let v =
+    in_pool (fun () ->
+        let c = Sel.chan () in
+        let got = Atomic.make 0 in
+        let waiting = Atomic.make 0 in
+        S.fork (fun () ->
+            Atomic.incr waiting;
+            ignore (Atomic.fetch_and_add got (Sel.receive [ c ])));
+        S.fork (fun () ->
+            Atomic.incr waiting;
+            ignore (Atomic.fetch_and_add got (Sel.receive [ c ])));
+        while Atomic.get waiting < 2 do
+          S.yield ()
+        done;
+        Sel.send (c, 7);
+        while Atomic.get got = 0 do
+          S.yield ()
+        done;
+        (* exactly one receiver got the value; the other still blocks *)
+        Atomic.get got)
+  in
+  check "exactly one delivery" 7 v
+
+let test_stale_receiver_skipped () =
+  (* A receiver parked on two channels is consumed via c1; its stale entry
+     on c2 must not swallow a later send on c2. *)
+  Sel.set_seed 3;
+  let v =
+    in_pool (fun () ->
+        let c1 = Sel.chan () and c2 = Sel.chan () in
+        let first = ref 0 and second = ref 0 in
+        S.fork (fun () -> first := Sel.receive [ c1; c2 ]);
+        (* wait until the receiver is parked on both channels *)
+        while snd (Sel.pending c1) = 0 || snd (Sel.pending c2) = 0 do
+          S.yield ()
+        done;
+        Sel.send (c1, 10);
+        while !first = 0 do
+          S.yield ()
+        done;
+        (* now c2 still holds a stale rcvr record *)
+        let _, stale = Sel.pending c2 in
+        S.fork (fun () -> second := Sel.receive [ c2 ]);
+        S.yield ();
+        Sel.send (c2, 20);
+        while !second = 0 do
+          S.yield ()
+        done;
+        checkb "stale record existed" true (stale >= 1);
+        (!first * 100) + !second)
+  in
+  check "stale entry skipped, fresh receiver served" 1020 v
+
+let test_figure5_fix_sender_not_lost () =
+  (* The printed Figure 5 drops a dequeued sender whenever a multi-channel
+     receiver loses the race for its own [committed] lock.  Drive many
+     multi-channel receivers against senders spread over the same channels:
+     receivers park on several channels, get committed via one, and then
+     (in other threads' scans) their stale records collide with live
+     senders.  With the bug, a sender is dropped and the conservation count
+     comes up short (this test would hang); with the fix, every value
+     arrives exactly once. *)
+  Sel.set_seed 4;
+  let k = 4 and n = 40 in
+  let v =
+    in_pool (fun () ->
+        let chans = Array.init k (fun _ -> Sel.chan ()) in
+        let chan_list = Array.to_list chans in
+        let sum = Atomic.make 0 in
+        let got = Atomic.make 0 in
+        for i = 1 to n do
+          S.fork (fun () -> Sel.send (chans.(i mod k), i))
+        done;
+        for _ = 1 to n do
+          S.fork (fun () ->
+              ignore (Atomic.fetch_and_add sum (Sel.receive chan_list));
+              Atomic.incr got)
+        done;
+        while Atomic.get got < n do
+          S.yield ()
+        done;
+        Atomic.get sum)
+  in
+  check "no sender lost across commit races" (n * (n + 1) / 2) v
+
+let test_pending_counts () =
+  in_pool (fun () ->
+      let c = Sel.chan () in
+      S.fork (fun () -> Sel.send (c, 1));
+      S.fork (fun () -> Sel.send (c, 2));
+      (* wait until both senders have parked *)
+      while fst (Sel.pending c) < 2 do
+        S.yield ()
+      done;
+      let sndrs, rcvrs = Sel.pending c in
+      check "two blocked senders" 2 sndrs;
+      check "no receivers" 0 rcvrs;
+      ignore (Sel.receive [ c ]);
+      ignore (Sel.receive [ c ]))
+
+let test_many_pairs_stress_sim () =
+  let n = 100 in
+  let v =
+    in_pool (fun () ->
+        let c = Sel.chan () in
+        let sum = Atomic.make 0 in
+        for i = 1 to n do
+          S.fork (fun () -> Sel.send (c, i))
+        done;
+        for _ = 1 to n do
+          ignore (Atomic.fetch_and_add sum (Sel.receive [ c ]))
+        done;
+        Atomic.get sum)
+  in
+  check "all messages" (n * (n + 1) / 2) v
+
+(* the same functor text on the trivial uniprocessor backend: the paper's
+   portability claim for client packages *)
+module UP = Mp.Mp_uniproc.Int ()
+module UT = Mpthreads.Uni_thread.Make (Queues.Fifo_queue)
+module USel = Select.Make (UP) (UT) (Queues.Fifo_queue)
+
+let test_select_on_uniproc () =
+  UT.reset ();
+  let v =
+    UP.run (fun () ->
+        let c1 = USel.chan () and c2 = USel.chan () in
+        UT.fork (fun () -> USel.send (c1, 10));
+        UT.fork (fun () -> USel.send (c2, 20));
+        UT.yield ();
+        USel.receive [ c1; c2 ] + USel.receive [ c1; c2 ])
+  in
+  check "portable to the uniprocessor backend" 30 v
+
+(* real-parallel stress on domains *)
+module PD =
+  Mp.Mp_domains.Int (struct
+      let max_procs = 4
+    end)
+    ()
+
+module SD = Mpthreads.Sched_thread.Make (PD)
+module SelD = Select.Make (PD) (SD) (Queues.Fifo_queue)
+
+let test_domains_stress () =
+  let n = 500 in
+  let v =
+    PD.run (fun () ->
+        SD.with_pool (fun () ->
+            let c = SelD.chan () in
+            let sum = Atomic.make 0 in
+            let got = Atomic.make 0 in
+            for i = 1 to n do
+              SD.fork (fun () -> SelD.send (c, i))
+            done;
+            for _ = 1 to n do
+              SD.fork (fun () ->
+                  ignore (Atomic.fetch_and_add sum (SelD.receive [ c ]));
+                  Atomic.incr got)
+            done;
+            while Atomic.get got < n do
+              SD.yield ()
+            done;
+            Atomic.get sum))
+  in
+  check "no message lost or duplicated under real parallelism"
+    (n * (n + 1) / 2)
+    v
+
+let () =
+  Alcotest.run "select"
+    [
+      ( "basic",
+        [
+          Alcotest.test_case "send then receive" `Quick test_send_then_receive;
+          Alcotest.test_case "receive then send" `Quick test_receive_then_send;
+          Alcotest.test_case "sender fifo" `Quick test_fifo_sender_order;
+          Alcotest.test_case "pending counts" `Quick test_pending_counts;
+        ] );
+      ( "selective",
+        [
+          Alcotest.test_case "ready channel" `Quick
+            test_select_from_ready_channel;
+          Alcotest.test_case "many channels" `Quick test_select_many_channels;
+          Alcotest.test_case "one sender, two receivers" `Quick
+            test_two_receivers_one_sender;
+          Alcotest.test_case "stale receiver skipped" `Quick
+            test_stale_receiver_skipped;
+          Alcotest.test_case "figure-5 fix" `Quick
+            test_figure5_fix_sender_not_lost;
+        ] );
+      ( "portability",
+        [ Alcotest.test_case "uniproc backend" `Quick test_select_on_uniproc ] );
+      ( "stress",
+        [
+          Alcotest.test_case "100 pairs (sim)" `Quick test_many_pairs_stress_sim;
+          Alcotest.test_case "500 pairs (domains)" `Slow test_domains_stress;
+        ] );
+    ]

@@ -1,0 +1,410 @@
+(* The simulated multiprocessor: determinism, virtual-time accounting, the
+   bus model, the GC model, proc management and the machine presets. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+let checkf = Alcotest.(check (float 1e-9))
+
+module Cfg = struct
+  let config = Sim.Sim_config.sequent ~procs:4 ()
+end
+
+module P = Sim.Mp_sim.Int (Cfg) ()
+module S = Mpthreads.Sched_thread.Make (P)
+
+let cfg = Cfg.config
+let cycles n = Sim.Sim_config.cycles_to_seconds cfg n
+
+(* ---------------- configs ---------------- *)
+
+let test_config_lock_pair () =
+  let us = Sim.Sim_config.lock_pair_microseconds cfg in
+  checkb "sequent pair ~46us" true (us > 44. && us < 48.);
+  let sgi = Sim.Sim_config.lock_pair_microseconds (Sim.Sim_config.sgi ()) in
+  checkb "sgi pair ~6us" true (sgi > 5. && sgi < 7.)
+
+let test_config_conversions () =
+  let c = Sim.Sim_config.seconds_to_cycles cfg 1.0 in
+  check "1s at 16MHz" 16_000_000 c;
+  checkf "round trip" 1.0 (Sim.Sim_config.cycles_to_seconds cfg c)
+
+(* ---------------- determinism ---------------- *)
+
+let workload () =
+  S.with_pool ~procs:4 (fun () ->
+      let acc = Atomic.make 0 in
+      S.par_iter 64 (fun i ->
+          P.Work.step ~instrs:1_000 ();
+          ignore (Atomic.fetch_and_add acc i));
+      Atomic.get acc)
+
+let test_deterministic_makespan () =
+  ignore (P.run workload);
+  let m1 = P.Machine.makespan_cycles () in
+  ignore (P.run workload);
+  let m2 = P.Machine.makespan_cycles () in
+  check "identical virtual makespan" m1 m2
+
+let test_deterministic_stats () =
+  ignore (P.run workload);
+  let s1 = P.stats () in
+  ignore (P.run workload);
+  let s2 = P.stats () in
+  checkf "elapsed" s1.Mp.Stats.elapsed s2.Mp.Stats.elapsed;
+  check "alloc" (Mp.Stats.total_alloc_words s1) (Mp.Stats.total_alloc_words s2);
+  check "spins" (Mp.Stats.total_lock_spins s1) (Mp.Stats.total_lock_spins s2)
+
+(* ---------------- charging ---------------- *)
+
+let test_charge_advances_clock () =
+  ignore (P.run (fun () -> P.Work.charge 1_000));
+  checkb "makespan >= charge" true (P.Machine.makespan_cycles () >= 1_000)
+
+let test_charge_exact () =
+  ignore (P.run (fun () -> P.Work.charge 12_345));
+  check "exact single-proc charge" 12_345 (P.Machine.makespan_cycles ())
+
+let test_step_charges_cpi () =
+  ignore (P.run (fun () -> P.Work.step ~instrs:1_000 ~alloc_words:0 ()));
+  check "instrs * cpi" (int_of_float (1_000. *. cfg.Sim.Sim_config.cpi))
+    (P.Machine.makespan_cycles ())
+
+let test_now_in_seconds () =
+  let t =
+    P.run (fun () ->
+        P.Work.charge 16_000;
+        P.Work.now ())
+  in
+  checkf "1ms at 16MHz" 0.001 t
+
+(* ---------------- allocation and bus ---------------- *)
+
+let test_alloc_accounts_words_and_bytes () =
+  ignore (P.run (fun () -> P.Work.alloc ~words:1_000));
+  let st = P.stats () in
+  check "words" 1_000 (Mp.Stats.total_alloc_words st);
+  check "bytes over the bus" (1_000 * cfg.Sim.Sim_config.word_bytes)
+    st.Mp.Stats.bus_bytes
+
+let test_bus_busy_matches_bandwidth () =
+  ignore (P.run (fun () -> P.Work.alloc ~words:10_000));
+  let bytes = 10_000 * cfg.Sim.Sim_config.word_bytes in
+  let expected_cycles =
+    float_of_int bytes /. cfg.Sim.Sim_config.bus_bytes_per_cycle
+  in
+  let busy = float_of_int (P.Machine.bus_busy_cycles ()) in
+  checkb "occupancy within slicing rounding" true
+    (Float.abs (busy -. expected_cycles) /. expected_cycles < 0.05)
+
+let test_bus_contention_serializes () =
+  (* two procs allocating heavily must take longer than one proc allocating
+     half as much: the bus is shared *)
+  let run_procs procs words =
+    ignore
+      (P.run (fun () ->
+           S.with_pool ~procs (fun () ->
+               S.par_iter ~chunks:procs procs (fun _ ->
+                   P.Work.alloc ~words))));
+    P.Machine.makespan_cycles ()
+  in
+  let t1 = run_procs 1 50_000 in
+  let t2 = run_procs 2 50_000 in
+  (* total traffic doubled but ran concurrently: the bus serializes it, so
+     t2 is clearly more than t1's compute share but at least the bus total *)
+  checkb "shared bus visible" true (t2 > t1)
+
+(* ---------------- GC model ---------------- *)
+
+let test_gc_triggers_on_region () =
+  ignore
+    (P.run (fun () ->
+         P.Work.alloc ~words:(cfg.Sim.Sim_config.gc_region_words + 1_000)));
+  checkb "collection happened" true (P.Machine.gc_collections () >= 1)
+
+let test_gc_none_under_region () =
+  ignore (P.run (fun () -> P.Work.alloc ~words:10_000));
+  check "no collection" 0 (P.Machine.gc_collections ())
+
+let test_gc_cost_model () =
+  ignore
+    (P.run (fun () -> P.Work.alloc ~words:cfg.Sim.Sim_config.gc_region_words));
+  let copied =
+    int_of_float
+      (cfg.Sim.Sim_config.gc_survival
+      *. float_of_int cfg.Sim.Sim_config.gc_region_words)
+  in
+  let expected =
+    cfg.Sim.Sim_config.gc_fixed_cycles
+    + int_of_float
+        (cfg.Sim.Sim_config.gc_cycles_per_word *. float_of_int copied)
+  in
+  check "duration = fixed + copy" expected (P.Machine.gc_cycles ())
+
+let test_gc_stalls_all_procs () =
+  ignore
+    (P.run (fun () ->
+         S.with_pool ~procs:4 (fun () ->
+             S.par_iter ~chunks:4 4 (fun i ->
+                 if i = 0 then
+                   P.Work.alloc ~words:(cfg.Sim.Sim_config.gc_region_words + 10)
+                 else P.Work.charge 2_000_000))));
+  let st = P.stats () in
+  (* every active proc paid a gc wait *)
+  let waited = ref 0 in
+  Array.iter
+    (fun p -> if p.Mp.Stats.gc_wait > 0. then incr waited)
+    st.Mp.Stats.per_proc;
+  checkb "barrier stalls active procs" true (!waited >= 2)
+
+let test_gc_excluded_seconds () =
+  ignore
+    (P.run (fun () ->
+         P.Work.alloc ~words:(cfg.Sim.Sim_config.gc_region_words + 10)));
+  let total = P.Machine.elapsed_seconds () in
+  let no_gc = P.Machine.gc_excluded_seconds () in
+  checkb "exclusion removes gc time" true
+    (no_gc < total
+    && Float.abs (total -. no_gc -. cycles (P.Machine.gc_cycles ())) < 1e-9)
+
+(* ---------------- locks in virtual time ---------------- *)
+
+let test_lock_charges_configured_cycles () =
+  ignore
+    (P.run (fun () ->
+         let l = P.Lock.mutex_lock () in
+         P.Lock.lock l;
+         P.Lock.unlock l));
+  let lock_bus =
+    2.
+    *. (float_of_int cfg.Sim.Sim_config.lock_bus_bytes
+       /. cfg.Sim.Sim_config.bus_bytes_per_cycle)
+  in
+  let expected =
+    float_of_int
+      (cfg.Sim.Sim_config.try_lock_cycles + cfg.Sim.Sim_config.unlock_cycles)
+    +. lock_bus
+  in
+  let got = float_of_int (P.Machine.makespan_cycles ()) in
+  checkb "uncontended lock pair cost" true (Float.abs (got -. expected) <= 4.)
+
+let test_lock_contention_spins () =
+  ignore
+    (P.run (fun () ->
+         S.with_pool ~procs:4 (fun () ->
+             let l = P.Lock.mutex_lock () in
+             let acc = ref 0 in
+             S.par_iter ~chunks:4 40 (fun _ ->
+                 P.Lock.lock l;
+                 incr acc;
+                 P.Work.charge 5_000;
+                 P.Lock.unlock l))));
+  checkb "contention produced spins" true
+    (Mp.Stats.total_lock_spins (P.stats ()) > 0)
+
+(* ---------------- procs ---------------- *)
+
+let test_proc_acquire_limit () =
+  checkb "limit enforced" true
+    (P.run (fun () ->
+         let spin = Atomic.make true in
+         let mk () =
+           Mp.Kont_util.cont_of_thunk ~on_return:P.Proc.release_proc (fun () ->
+               while Atomic.get spin do
+                 P.Work.charge 1_000
+               done)
+         in
+         let acquired = ref 0 in
+         (try
+            for _ = 1 to 8 do
+              P.Proc.acquire_proc (P.Proc.PS (mk (), 0));
+              incr acquired
+            done
+          with Mp.Mp_intf.No_More_Procs -> ());
+         Atomic.set spin false;
+         !acquired = 3))
+
+let test_proc_datum () =
+  let v =
+    P.run (fun () ->
+        P.Proc.set_datum 9;
+        P.Proc.get_datum ())
+  in
+  check "datum" 9 v
+
+let test_proc_acquire_charges () =
+  ignore
+    (P.run (fun () ->
+         Mp.Engine.callcc (fun k ->
+             match P.Proc.acquire_proc (P.Proc.PS (k, 0)) with
+             | () -> P.Proc.release_proc ()
+             | exception Mp.Mp_intf.No_More_Procs -> ())));
+  checkb "acquire has a cost" true
+    (P.Machine.makespan_cycles () >= cfg.Sim.Sim_config.acquire_proc_cycles)
+
+let test_deadlock_detection () =
+  checkb "deadlock" true
+    (match P.run (fun () -> P.Proc.release_proc ()) with
+    | _ -> false
+    | exception Mp.Mp_intf.Deadlock _ -> true)
+
+let test_idle_accounting () =
+  ignore
+    (P.run (fun () ->
+         S.with_pool ~procs:4 (fun () ->
+             (* only the root does real work; workers idle-poll *)
+             P.Work.charge 1_000_000)));
+  let st = P.stats () in
+  checkb "workers accumulated idle time" true (Mp.Stats.idle_fraction st > 0.3)
+
+(* ---------------- trace ---------------- *)
+
+let test_trace_records () =
+  P.Machine.enable_trace ();
+  ignore
+    (P.run (fun () ->
+         P.Work.alloc ~words:(cfg.Sim.Sim_config.gc_region_words + 10)));
+  let t = Option.get (P.Machine.trace ()) in
+  let evs = Sim.Sim_trace.events t in
+  checkb "dispatches recorded" true
+    (List.exists (function Sim.Sim_trace.Dispatch _ -> true | _ -> false) evs);
+  checkb "gc recorded" true
+    (List.exists (function Sim.Sim_trace.Gc_start _ -> true | _ -> false) evs);
+  checkb "free recorded" true
+    (List.exists (function Sim.Sim_trace.Freed _ -> true | _ -> false) evs);
+  (* clocks are non-decreasing *)
+  let clocks = List.map Sim.Sim_trace.clock_of evs in
+  checkb "monotone clocks" true
+    (List.for_all2 ( <= )
+       (List.filteri (fun i _ -> i < List.length clocks - 1) clocks)
+       (List.tl clocks));
+  P.Machine.disable_trace ()
+
+let test_trace_ring_bounds () =
+  let t = Sim.Sim_trace.create ~capacity:4 in
+  for i = 1 to 10 do
+    Sim.Sim_trace.record t (Sim.Sim_trace.Dispatch { proc = i; clock = i })
+  done;
+  check "bounded" 4 (Sim.Sim_trace.length t);
+  check "total counted" 10 (Sim.Sim_trace.total_recorded t);
+  (match Sim.Sim_trace.events t with
+  | Sim.Sim_trace.Dispatch { proc = 7; _ } :: _ -> ()
+  | _ -> Alcotest.fail "ring should retain the most recent events");
+  Sim.Sim_trace.clear t;
+  check "cleared" 0 (Sim.Sim_trace.length t)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let prop_charge_sum =
+  QCheck.Test.make ~name:"single proc: makespan = sum of charges" ~count:50
+    QCheck.(list (int_range 1 10_000))
+    (fun charges ->
+      ignore (P.run (fun () -> List.iter P.Work.charge charges));
+      P.Machine.makespan_cycles () = List.fold_left ( + ) 0 charges)
+
+let prop_alloc_conservation =
+  QCheck.Test.make ~name:"alloc words are conserved in stats" ~count:50
+    QCheck.(list (int_range 1 2_000))
+    (fun allocs ->
+      ignore (P.run (fun () -> List.iter (fun w -> P.Work.alloc ~words:w) allocs));
+      Mp.Stats.total_alloc_words (P.stats ()) = List.fold_left ( + ) 0 allocs)
+
+let prop_parallel_deterministic =
+  QCheck.Test.make ~name:"random parallel workloads are deterministic"
+    ~count:20
+    QCheck.(pair (int_range 1 4) (list (int_range 100 5_000)))
+    (fun (procs, works) ->
+      let run () =
+        ignore
+          (P.run (fun () ->
+               S.with_pool ~procs (fun () ->
+                   S.fork_join
+                     (List.map (fun w () -> P.Work.step ~instrs:w ()) works))));
+        P.Machine.makespan_cycles ()
+      in
+      let a = run () in
+      let b = run () in
+      a = b)
+
+let prop_more_procs_never_slower_for_independent_work =
+  QCheck.Test.make
+    ~name:
+      "independent equal tasks: 4 procs beat 1 proc once work dwarfs pool \
+       setup"
+    ~count:20
+    (QCheck.int_range 8 32)
+    (fun tasks ->
+      let time procs =
+        ignore
+          (P.run (fun () ->
+               S.with_pool ~procs (fun () ->
+                   S.par_iter ~chunks:tasks tasks (fun _ ->
+                       P.Work.step ~instrs:50_000 ~alloc_words:0 ()))));
+        P.Machine.makespan_cycles ()
+      in
+      time 4 < time 1)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "lock pair us" `Quick test_config_lock_pair;
+          Alcotest.test_case "conversions" `Quick test_config_conversions;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "makespan" `Quick test_deterministic_makespan;
+          Alcotest.test_case "stats" `Quick test_deterministic_stats;
+        ] );
+      ( "charging",
+        [
+          Alcotest.test_case "advances clock" `Quick test_charge_advances_clock;
+          Alcotest.test_case "exact" `Quick test_charge_exact;
+          Alcotest.test_case "step cpi" `Quick test_step_charges_cpi;
+          Alcotest.test_case "now in seconds" `Quick test_now_in_seconds;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "alloc accounting" `Quick
+            test_alloc_accounts_words_and_bytes;
+          Alcotest.test_case "bandwidth occupancy" `Quick
+            test_bus_busy_matches_bandwidth;
+          Alcotest.test_case "contention serializes" `Quick
+            test_bus_contention_serializes;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "triggers on region" `Quick
+            test_gc_triggers_on_region;
+          Alcotest.test_case "none under region" `Quick test_gc_none_under_region;
+          Alcotest.test_case "cost model" `Quick test_gc_cost_model;
+          Alcotest.test_case "stalls all procs" `Quick test_gc_stalls_all_procs;
+          Alcotest.test_case "gc-excluded time" `Quick test_gc_excluded_seconds;
+        ] );
+      ( "locks",
+        [
+          Alcotest.test_case "configured cycles" `Quick
+            test_lock_charges_configured_cycles;
+          Alcotest.test_case "contention spins" `Quick test_lock_contention_spins;
+        ] );
+      ( "procs",
+        [
+          Alcotest.test_case "acquire limit" `Quick test_proc_acquire_limit;
+          Alcotest.test_case "datum" `Quick test_proc_datum;
+          Alcotest.test_case "acquire charges" `Quick test_proc_acquire_charges;
+          Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+          Alcotest.test_case "idle accounting" `Quick test_idle_accounting;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records events" `Quick test_trace_records;
+          Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+        ] );
+      ( "properties",
+        [
+          qt prop_charge_sum;
+          qt prop_alloc_conservation;
+          qt prop_parallel_deterministic;
+          qt prop_more_procs_never_slower_for_independent_work;
+        ] );
+    ]

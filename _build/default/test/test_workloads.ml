@@ -1,0 +1,403 @@
+(* Workloads: sequential reference implementations cross-checked against
+   independent algorithms and properties, and parallel versions verified
+   against the sequential references on the simulated backend. *)
+
+let check = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+open Workloads
+
+(* ---------------- graph / allpairs ---------------- *)
+
+let test_floyd_tiny () =
+  (* 0 ->(1) 1 ->(2) 2, 0 ->(9) 2: shortest 0->2 is 3 *)
+  let g =
+    {
+      Graph.n = 3;
+      dist =
+        [|
+          [| 0; 1; 9 |];
+          [| Graph.inf; 0; 2 |];
+          [| Graph.inf; Graph.inf; 0 |];
+        |];
+    }
+  in
+  let d = Graph.floyd_warshall g in
+  check "relaxed path" 3 d.(0).(2)
+
+let test_floyd_unreachable () =
+  let g =
+    { Graph.n = 2; dist = [| [| 0; Graph.inf |]; [| Graph.inf; 0 |] |] }
+  in
+  let d = Graph.floyd_warshall g in
+  checkb "stays unreachable" true (d.(0).(1) >= Graph.inf)
+
+(* Bellman-Ford from a single source, as an independent oracle. *)
+let bellman_ford (g : Graph.t) src =
+  let n = g.n in
+  let dist = Array.make n Graph.inf in
+  dist.(src) <- 0;
+  for _ = 1 to n - 1 do
+    for u = 0 to n - 1 do
+      if dist.(u) < Graph.inf then
+        for v = 0 to n - 1 do
+          if g.dist.(u).(v) < Graph.inf then
+            if dist.(u) + g.dist.(u).(v) < dist.(v) then
+              dist.(v) <- dist.(u) + g.dist.(u).(v)
+        done
+    done
+  done;
+  dist
+
+let prop_floyd_matches_bellman_ford =
+  QCheck.Test.make ~name:"floyd = bellman-ford from every source" ~count:25
+    QCheck.(pair (int_range 2 12) small_int)
+    (fun (n, seed) ->
+      let g = Graph.random ~n ~density:0.5 ~seed () in
+      let d = Graph.floyd_warshall g in
+      let ok = ref true in
+      for src = 0 to n - 1 do
+        let bf = bellman_ford g src in
+        for v = 0 to n - 1 do
+          let a = if d.(src).(v) >= Graph.inf then -1 else d.(src).(v) in
+          let b = if bf.(v) >= Graph.inf then -1 else bf.(v) in
+          if a <> b then ok := false
+        done
+      done;
+      !ok)
+
+let test_graph_deterministic () =
+  let a = Graph.random ~n:20 ~seed:3 () and b = Graph.random ~n:20 ~seed:3 () in
+  check "same seed, same graph" (Graph.checksum a.Graph.dist)
+    (Graph.checksum b.Graph.dist)
+
+(* ---------------- euclid / mst ---------------- *)
+
+let test_prim_equals_kruskal_fixed () =
+  let p = Euclid.random_points ~n:60 ~seed:11 in
+  check "mst weight agrees" (Euclid.kruskal_mst p) (Euclid.prim_mst p)
+
+let prop_prim_equals_kruskal =
+  QCheck.Test.make ~name:"prim = kruskal on random points" ~count:25
+    QCheck.(pair (int_range 2 40) small_int)
+    (fun (n, seed) ->
+      let p = Euclid.random_points ~n ~seed in
+      Euclid.prim_mst p = Euclid.kruskal_mst p)
+
+let test_mst_triangle () =
+  (* colinear points 0-1-2: MST uses the two short edges *)
+  let p = { Euclid.xs = [| 0.; 1.; 2. |]; ys = [| 0.; 0.; 0. |] } in
+  check "two unit edges" 2 (Euclid.prim_mst p)
+
+let test_mst_empty_and_single () =
+  check "empty" 0 (Euclid.prim_mst { Euclid.xs = [||]; ys = [||] });
+  check "single" 0 (Euclid.prim_mst { Euclid.xs = [| 1. |]; ys = [| 1. |] })
+
+(* ---------------- bitonic ---------------- *)
+
+let test_bitonic_sorts () =
+  let a = [| 5; 3; 8; 1; 9; 2; 7; 4 |] in
+  Bitonic.sort a;
+  Alcotest.(check (array int)) "sorted" [| 1; 2; 3; 4; 5; 7; 8; 9 |] a
+
+let test_bitonic_rejects_non_power () =
+  Alcotest.check_raises "length 3"
+    (Invalid_argument "Bitonic.sort: length must be a power of two") (fun () ->
+      Bitonic.sort [| 3; 1; 2 |])
+
+let test_bitonic_adaptive_on_sorted () =
+  (* adaptivity lives in the merge: an already-ordered bitonic segment
+     costs O(n) comparator work, a genuinely bitonic one O(n log n) *)
+  let n = 1024 in
+  let sorted = Array.init n Fun.id in
+  Bitonic.reset_counters ();
+  Bitonic.merge ~up:true sorted 0 n;
+  let c_sorted = Bitonic.comparators_used () in
+  let rng = Random.State.make [| 1 |] in
+  let up = Array.init (n / 2) (fun _ -> Random.State.int rng 10000) in
+  let down = Array.init (n / 2) (fun _ -> Random.State.int rng 10000) in
+  Array.sort compare up;
+  Array.sort (fun a b -> compare b a) down;
+  let bitonic_input = Array.append up down in
+  Bitonic.reset_counters ();
+  Bitonic.merge ~up:true bitonic_input 0 n;
+  let c_bitonic = Bitonic.comparators_used () in
+  checkb "ordered merge is much cheaper" true (c_sorted * 2 < c_bitonic);
+  let sorted_check = Array.copy bitonic_input in
+  Array.sort compare sorted_check;
+  Alcotest.(check (array int)) "merge sorted correctly" sorted_check bitonic_input
+
+let prop_bitonic_matches_stdlib =
+  QCheck.Test.make ~name:"bitonic sort = stdlib sort (pow2 sizes)" ~count:50
+    QCheck.(pair (int_range 0 6) (list small_int))
+    (fun (log_n, salt) ->
+      let n = 1 lsl log_n in
+      let rng =
+        Random.State.make (Array.of_list (List.length salt :: salt))
+      in
+      let a = Array.init n (fun _ -> Random.State.int rng 1000) in
+      let b = Array.copy a in
+      Bitonic.sort a;
+      Array.sort compare b;
+      a = b)
+
+let prop_merge_sorts_bitonic_input =
+  QCheck.Test.make ~name:"merge sorts ascending++descending input" ~count:50
+    (QCheck.int_range 1 5)
+    (fun log_h ->
+      let h = 1 lsl log_h in
+      let rng = Random.State.make [| h |] in
+      let up = Array.init h (fun _ -> Random.State.int rng 100) in
+      let down = Array.init h (fun _ -> Random.State.int rng 100) in
+      Array.sort compare up;
+      Array.sort (fun a b -> compare b a) down;
+      let a = Array.append up down in
+      Bitonic.merge ~up:true a 0 (2 * h);
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      a = sorted)
+
+(* ---------------- hydro ---------------- *)
+
+let test_hydro_deterministic () =
+  let a = Hydro.create ~n:24 ~seed:5 in
+  let b = Hydro.create ~n:24 ~seed:5 in
+  ignore (Hydro.step_seq a);
+  ignore (Hydro.step_seq b);
+  check "same evolution" (Hydro.checksum a) (Hydro.checksum b)
+
+let test_hydro_positive_fields () =
+  let t = Hydro.create ~n:24 ~seed:5 in
+  for _ = 1 to 5 do
+    ignore (Hydro.step_seq t)
+  done;
+  let ok = ref true in
+  for i = 0 to t.Hydro.n - 1 do
+    for j = 0 to t.Hydro.n - 1 do
+      if t.Hydro.rho.(i).(j) <= 0. || t.Hydro.e.(i).(j) <= 0. then ok := false;
+      if Float.is_nan t.Hydro.u.(i).(j) then ok := false
+    done
+  done;
+  checkb "density and energy stay positive and finite" true !ok
+
+let test_hydro_dt_positive () =
+  let t = Hydro.create ~n:24 ~seed:5 in
+  let dt = Hydro.step_seq t in
+  checkb "CFL bound positive and finite" true (dt > 0. && Float.is_finite dt)
+
+let test_hydro_phases_cover_rows () =
+  (* applying a phase over [0,n) in two pieces equals one pass *)
+  let a = Hydro.create ~n:16 ~seed:2 in
+  let b = Hydro.copy a in
+  Hydro.phase_eos a ~lo:0 ~hi:16;
+  Hydro.phase_eos b ~lo:0 ~hi:7;
+  Hydro.phase_eos b ~lo:7 ~hi:16;
+  let digest t =
+    let acc = ref 0. in
+    Array.iter (Array.iter (fun x -> acc := !acc +. x)) t.Hydro.p;
+    !acc
+  in
+  Alcotest.(check (float 0.0)) "split = whole" (digest a) (digest b)
+
+(* ---------------- matrix ---------------- *)
+
+let test_matrix_identity () =
+  let n = 8 in
+  let a = Matrix.random ~n ~seed:4 in
+  let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1 else 0)) in
+  check "a * I = a" (Matrix.checksum a) (Matrix.checksum (Matrix.multiply a id))
+
+let test_matrix_row_equals_full () =
+  let n = 10 in
+  let a = Matrix.random ~n ~seed:4 and b = Matrix.random ~n ~seed:5 in
+  let full = Matrix.multiply a b in
+  let dst = Array.make_matrix n n 0 in
+  for i = 0 to n - 1 do
+    Matrix.multiply_row a b ~dst i
+  done;
+  check "row-by-row = full" (Matrix.checksum full) (Matrix.checksum dst)
+
+let prop_matrix_distributes =
+  QCheck.Test.make ~name:"checksum stable across seeds" ~count:20
+    (QCheck.int_range 1 10)
+    (fun seed ->
+      let a = Matrix.random ~n:6 ~seed and b = Matrix.random ~n:6 ~seed in
+      Matrix.checksum a = Matrix.checksum b)
+
+let test_graph_density_extremes () =
+  let empty = Graph.random ~n:10 ~density:0.0 ~seed:1 () in
+  let full = Graph.random ~n:10 ~density:1.0 ~seed:1 () in
+  let count g =
+    let n = ref 0 in
+    Array.iteri
+      (fun i row ->
+        Array.iteri (fun j w -> if i <> j && w < Graph.inf then incr n) row)
+      g.Graph.dist;
+    !n
+  in
+  check "no edges at density 0" 0 (count empty);
+  check "all edges at density 1" 90 (count full)
+
+let test_graph_copy_independent () =
+  let g = Graph.random ~n:5 ~seed:2 () in
+  let g2 = Graph.copy g in
+  g2.Graph.dist.(0).(1) <- 0;
+  checkb "copy does not alias" true (g.Graph.dist.(0).(1) <> 0 || true);
+  (* the original checksum is unchanged by mutating the copy *)
+  check "original intact"
+    (Graph.checksum (Graph.random ~n:5 ~seed:2 ()).Graph.dist)
+    (Graph.checksum g.Graph.dist)
+
+let test_bitonic_trivial_sizes () =
+  let a0 = [||] in
+  Bitonic.sort a0;
+  let a1 = [| 5 |] in
+  Bitonic.sort a1;
+  Alcotest.(check (array int)) "singleton" [| 5 |] a1;
+  let a2 = [| 2; 1 |] in
+  Bitonic.sort a2;
+  Alcotest.(check (array int)) "pair" [| 1; 2 |] a2
+
+let test_bitonic_duplicates () =
+  let a = [| 3; 1; 3; 1; 2; 2; 3; 1 |] in
+  Bitonic.sort a;
+  Alcotest.(check (array int)) "stable multiset" [| 1; 1; 1; 2; 2; 3; 3; 3 |] a
+
+let test_hydro_copy_independent () =
+  let a = Hydro.create ~n:8 ~seed:1 in
+  let b = Hydro.copy a in
+  ignore (Hydro.step_seq b);
+  check "original unchanged by stepping the copy"
+    (Hydro.checksum (Hydro.create ~n:8 ~seed:1))
+    (Hydro.checksum a)
+
+let test_euclid_weight_symmetric () =
+  let p = Euclid.random_points ~n:10 ~seed:9 in
+  for i = 0 to 9 do
+    for j = 0 to 9 do
+      check "w(i,j) = w(j,i)" (Euclid.weight p i j) (Euclid.weight p j i)
+    done
+  done
+
+(* ---------------- parallel = sequential (sim) ---------------- *)
+
+module P =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:4 ()
+    end)
+    ()
+
+module B = Bench_suite.Make (P)
+
+let test_par_mm_matches () =
+  let expected =
+    Matrix.checksum
+      (Matrix.multiply (Matrix.random ~n:40 ~seed:42) (Matrix.random ~n:40 ~seed:43))
+  in
+  check "p=1" expected (B.mm ~procs:1 ~n:40 ());
+  check "p=4" expected (B.mm ~procs:4 ~n:40 ())
+
+let test_par_allpairs_matches () =
+  let g = Graph.random ~n:30 ~seed:42 () in
+  let expected = Graph.checksum (Graph.floyd_warshall g) in
+  check "p=1" expected (B.allpairs ~procs:1 ~n:30 ());
+  check "p=4" expected (B.allpairs ~procs:4 ~n:30 ())
+
+let test_par_mst_matches () =
+  let expected = Euclid.prim_mst (Euclid.random_points ~n:80 ~seed:42) in
+  check "p=1" expected (B.mst ~procs:1 ~n:80 ());
+  check "p=4" expected (B.mst ~procs:4 ~n:80 ())
+
+let test_par_abisort_sorts () =
+  let size = 1024 in
+  let rng = Random.State.make [| 42; size |] in
+  let a = Array.init size (fun _ -> Random.State.int rng 1_000_000) in
+  Array.sort compare a;
+  let expected = Array.fold_left (fun acc x -> (acc * 31) + x) 7 a in
+  check "p=1" expected (B.abisort ~procs:1 ~size ());
+  check "p=4" expected (B.abisort ~procs:4 ~size ())
+
+let test_par_simple_matches () =
+  let t = Hydro.create ~n:32 ~seed:42 in
+  ignore (Hydro.step_seq t);
+  let expected = Hydro.checksum t in
+  check "p=1" expected (B.simple ~procs:1 ~n:32 ());
+  check "p=4" expected (B.simple ~procs:4 ~n:32 ())
+
+let test_par_seq_copies () =
+  check "copies" 4 (B.seq ~procs:4 ~work:50_000 ());
+  check "explicit copies" 6 (B.seq ~procs:2 ~copies:6 ~work:50_000 ())
+
+let test_speedup_exists () =
+  ignore (B.mm ~procs:1 ~n:40 ());
+  let t1 = (P.stats ()).Mp.Stats.elapsed in
+  ignore (B.mm ~procs:4 ~n:40 ());
+  let t4 = (P.stats ()).Mp.Stats.elapsed in
+  checkb "4 procs at least 2x faster in virtual time" true (t1 /. t4 > 2.)
+
+let qt = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "graph",
+        [
+          Alcotest.test_case "floyd tiny" `Quick test_floyd_tiny;
+          Alcotest.test_case "unreachable" `Quick test_floyd_unreachable;
+          Alcotest.test_case "deterministic" `Quick test_graph_deterministic;
+          qt prop_floyd_matches_bellman_ford;
+        ] );
+      ( "mst",
+        [
+          Alcotest.test_case "prim = kruskal" `Quick
+            test_prim_equals_kruskal_fixed;
+          Alcotest.test_case "triangle" `Quick test_mst_triangle;
+          Alcotest.test_case "degenerate sizes" `Quick test_mst_empty_and_single;
+          qt prop_prim_equals_kruskal;
+        ] );
+      ( "bitonic",
+        [
+          Alcotest.test_case "sorts" `Quick test_bitonic_sorts;
+          Alcotest.test_case "rejects non-power" `Quick
+            test_bitonic_rejects_non_power;
+          Alcotest.test_case "adaptive on sorted" `Quick
+            test_bitonic_adaptive_on_sorted;
+          qt prop_bitonic_matches_stdlib;
+          qt prop_merge_sorts_bitonic_input;
+        ] );
+      ( "hydro",
+        [
+          Alcotest.test_case "deterministic" `Quick test_hydro_deterministic;
+          Alcotest.test_case "positive fields" `Quick test_hydro_positive_fields;
+          Alcotest.test_case "dt positive" `Quick test_hydro_dt_positive;
+          Alcotest.test_case "phase split" `Quick test_hydro_phases_cover_rows;
+        ] );
+      ( "matrix",
+        [
+          Alcotest.test_case "identity" `Quick test_matrix_identity;
+          Alcotest.test_case "row = full" `Quick test_matrix_row_equals_full;
+          qt prop_matrix_distributes;
+        ] );
+      ( "edges",
+        [
+          Alcotest.test_case "graph density extremes" `Quick
+            test_graph_density_extremes;
+          Alcotest.test_case "graph copy" `Quick test_graph_copy_independent;
+          Alcotest.test_case "bitonic trivial sizes" `Quick
+            test_bitonic_trivial_sizes;
+          Alcotest.test_case "bitonic duplicates" `Quick test_bitonic_duplicates;
+          Alcotest.test_case "hydro copy" `Quick test_hydro_copy_independent;
+          Alcotest.test_case "euclid symmetry" `Quick
+            test_euclid_weight_symmetric;
+        ] );
+      ( "parallel=sequential",
+        [
+          Alcotest.test_case "mm" `Slow test_par_mm_matches;
+          Alcotest.test_case "allpairs" `Slow test_par_allpairs_matches;
+          Alcotest.test_case "mst" `Slow test_par_mst_matches;
+          Alcotest.test_case "abisort" `Slow test_par_abisort_sorts;
+          Alcotest.test_case "simple" `Slow test_par_simple_matches;
+          Alcotest.test_case "seq copies" `Quick test_par_seq_copies;
+          Alcotest.test_case "speedup exists" `Slow test_speedup_exists;
+        ] );
+    ]
