@@ -2,8 +2,12 @@
    evaluation (sections E1-E7, see DESIGN.md) and runs Bechamel
    microbenchmarks of the thread/lock primitives (M1-M6).
 
-   Usage: dune exec bench/main.exe [-- --quick]
-   --quick runs a reduced proc sweep (1,4,16) for faster iteration. *)
+   Usage: dune exec bench/main.exe [-- --quick] [-- --json]
+   --quick runs a reduced proc sweep (1,4,16) for faster iteration.
+   --json additionally writes BENCH_sim.json: host-time cost of the
+   simulator core (seconds, scheduler decisions, effect-handler
+   suspensions) per workload, for tracking sim-core performance across
+   changes. *)
 
 open Bechamel
 open Toolkit
@@ -408,13 +412,108 @@ let print_sensitivity () =
          [ 0.002; 0.02; 0.2 ])
 
 (* ------------------------------------------------------------------ *)
+(* Sim core: host-time cost of simulating, not simulated time.         *)
+(* ------------------------------------------------------------------ *)
+
+type sim_core_row = {
+  sc_bench : string;
+  sc_procs : int;
+  sc_host : float;
+  sc_decisions : int;
+  sc_susp : int;
+  sc_coalesced : int;
+  sc_heap_ops : int;
+  sc_makespan : int;
+}
+
+let sim_core_rows () =
+  List.concat_map
+    (fun bench ->
+      List.map
+        (fun procs ->
+          let t0 = Sys.time () in
+          ignore (BSeq.run_named bench ~procs);
+          {
+            sc_bench = bench;
+            sc_procs = procs;
+            sc_host = Sys.time () -. t0;
+            sc_decisions = Seq16.Machine.sched_decisions ();
+            sc_susp = Seq16.Machine.suspensions ();
+            sc_coalesced = Seq16.Machine.coalesced_charges ();
+            sc_heap_ops = Seq16.Machine.heap_ops ();
+            sc_makespan = Seq16.Machine.makespan_cycles ();
+          })
+        [ 1; 4; 16 ])
+    BSeq.names
+
+let print_sim_core rows =
+  Report.Render.section fmt
+    "Sim core: host-time cost of the simulator (scheduler decisions, \
+     effect-handler suspensions, charges coalesced by run-ahead)";
+  Report.Render.table fmt
+    ~header:
+      [ "bench"; "procs"; "host s"; "decisions"; "suspensions"; "coalesced" ]
+    ~rows:
+      (List.map
+         (fun r ->
+           [
+             r.sc_bench;
+             string_of_int r.sc_procs;
+             Printf.sprintf "%.4f" r.sc_host;
+             string_of_int r.sc_decisions;
+             string_of_int r.sc_susp;
+             string_of_int r.sc_coalesced;
+           ])
+         rows);
+  let tot f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Format.fprintf fmt
+    "@.totals: %.3f host seconds, %d decisions, %d suspensions, %d charges \
+     coalesced inline@."
+    (List.fold_left (fun acc r -> acc +. r.sc_host) 0. rows)
+    (tot (fun r -> r.sc_decisions))
+    (tot (fun r -> r.sc_susp))
+    (tot (fun r -> r.sc_coalesced))
+
+let write_sim_json rows path =
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"benchmark\": \"sim-core\",\n  \"machine\": %S,\n"
+    Seq16.Machine.config.Sim.Sim_config.name;
+  Printf.fprintf oc "  \"workloads\": [\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"procs\": %d, \"host_seconds\": %.6f, \
+         \"sched_decisions\": %d, \"suspensions\": %d, \
+         \"coalesced_charges\": %d, \"heap_ops\": %d, \"makespan_cycles\": \
+         %d}%s\n"
+        r.sc_bench r.sc_procs r.sc_host r.sc_decisions r.sc_susp r.sc_coalesced
+        r.sc_heap_ops r.sc_makespan
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n";
+  let tot f = List.fold_left (fun acc r -> acc + f r) 0 rows in
+  Printf.fprintf oc
+    "  \"totals\": {\"host_seconds\": %.6f, \"sched_decisions\": %d, \
+     \"suspensions\": %d, \"coalesced_charges\": %d, \"heap_ops\": %d}\n}\n"
+    (List.fold_left (fun acc r -> acc +. r.sc_host) 0. rows)
+    (tot (fun r -> r.sc_decisions))
+    (tot (fun r -> r.sc_susp))
+    (tot (fun r -> r.sc_coalesced))
+    (tot (fun r -> r.sc_heap_ops));
+  close_out oc;
+  Format.fprintf fmt "@.wrote %s@." path
 
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
+  let json = Array.exists (fun a -> a = "--json") Sys.argv in
   let plist = if quick then Some [ 1; 4; 16 ] else None in
   Format.fprintf fmt
     "Procs and Locks reproduction -- benchmark harness (%s sweep)@."
     (if quick then "quick" else "full");
+  let sim_rows = sim_core_rows () in
+  print_sim_core sim_rows;
+  if json then write_sim_json sim_rows "BENCH_sim.json";
   run_micro ();
   Report.Experiments.print_lock_latency fmt;
   Report.Experiments.print_portability fmt;

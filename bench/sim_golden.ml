@@ -1,0 +1,44 @@
+(* Golden-value generator for the simulator's determinism-equivalence tests.
+
+   Prints, for every bench-suite workload at procs in {1,4,16} on the
+   16-proc Sequent model, the virtual-time invariants that any scheduler
+   change must preserve bit-for-bit (makespan cycles, collections, bus
+   bytes) plus host-side cost counters (effect-handler suspensions,
+   scheduler decisions, host CPU seconds) that changes are allowed — and
+   expected — to improve.
+
+   Usage: dune exec bench/sim_golden.exe
+   Paste the GOLDEN lines into the table in test/test_sim.ml when adding a
+   workload; never update them to absorb a virtual-time change without
+   understanding why the change is correct. *)
+
+module Seq16 =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:16 ()
+    end)
+    ()
+
+module B = Workloads.Bench_suite.Make (Seq16)
+
+let () =
+  List.iter
+    (fun name ->
+      List.iter
+        (fun procs ->
+          Mp.Engine.reset_suspensions ();
+          let t0 = Sys.time () in
+          let witness = B.run_named name ~procs in
+          let host = Sys.time () -. t0 in
+          Printf.printf
+            "GOLDEN %-8s procs=%-2d makespan=%-12d gc=%-3d bus=%-12d \
+             witness=%d susp=%d decisions=%d host=%.3fs\n%!"
+            name procs
+            (Seq16.Machine.makespan_cycles ())
+            (Seq16.Machine.gc_collections ())
+            (Seq16.Machine.bus_bytes ())
+            witness
+            (Mp.Engine.suspensions ())
+            (Seq16.Machine.sched_decisions ())
+            host)
+        [ 1; 4; 16 ])
+    B.names

@@ -16,7 +16,20 @@ type _ Effect.t += Suspend : ('a cont -> action) -> 'a Effect.t
 exception Already_resumed
 exception Unhandled_action
 
-let suspend f = Effect.perform (Suspend f)
+(* Host-side instrumentation: every suspension is one effect-handler
+   round-trip, the unit of cost the simulator's run-ahead fast path avoids.
+   A plain (racy) counter: an atomic here costs a fenced RMW on the
+   hottest path in the system.  Single-domain backends (the simulator)
+   count exactly; multi-domain backends may undercount under contention,
+   which is fine for a diagnostic. *)
+let suspension_count = ref 0
+
+let suspensions () = !suspension_count
+let reset_suspensions () = suspension_count := 0
+
+let suspend f =
+  incr suspension_count;
+  Effect.perform (Suspend f)
 
 let throw c v = suspend (fun _abandoned -> Resume (c, v))
 

@@ -27,6 +27,15 @@ exception Already_resumed
 exception Unhandled_action
 (** Raised by a backend trampoline on an action it does not interpret. *)
 
+val suspensions : unit -> int
+(** Number of {!suspend}s performed process-wide since the last
+    {!reset_suspensions} — a host-side cost counter (each suspension is one
+    effect-handler round-trip).  Virtual time is unaffected.  The counter
+    is deliberately not atomic: it is exact on single-domain backends (the
+    simulator) and approximate under parallel host execution. *)
+
+val reset_suspensions : unit -> unit
+
 val suspend : ('a cont -> action) -> 'a
 (** [suspend f] captures the current fiber as a continuation [c] and runs
     [f c] {e in the proc-loop context} (outside the fiber).  The action

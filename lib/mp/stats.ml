@@ -14,6 +14,9 @@ type t = {
   gc_count : int;
   bus_busy : float;
   bus_bytes : int;
+  sched_decisions : int;
+  suspensions : int;
+  heap_ops : int;
   per_proc : proc_stats array;
 }
 
@@ -29,6 +32,9 @@ let zero ~platform ~procs =
     gc_count = 0;
     bus_busy = 0.;
     bus_bytes = 0;
+    sched_decisions = 0;
+    suspensions = 0;
+    heap_ops = 0;
     per_proc = Array.init procs (fun _ -> make_proc_stats ());
   }
 
@@ -56,8 +62,9 @@ let total_lock_spins t =
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>platform=%s procs=%d elapsed=%.6fs gc=%.6fs (%d) bus=%.1f%% \
-     idle=%.1f%% spins=%d alloc=%dw@]"
+     idle=%.1f%% spins=%d alloc=%dw host:decisions=%d susp=%d heap=%d@]"
     t.platform t.procs t.elapsed t.gc_time t.gc_count
     (100. *. bus_utilization t)
     (100. *. idle_fraction t)
-    (total_lock_spins t) (total_alloc_words t)
+    (total_lock_spins t) (total_alloc_words t) t.sched_decisions t.suspensions
+    t.heap_ops

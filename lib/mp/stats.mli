@@ -20,6 +20,13 @@ type t = {
   gc_count : int;
   bus_busy : float;  (** seconds the shared memory bus was occupied *)
   bus_bytes : int;  (** total bytes transferred over the bus *)
+  sched_decisions : int;
+      (** {e host-side}: scheduler dispatches performed during the run (0 on
+          real backends).  Unlike every field above, this and the two below
+          measure the cost of running the simulation, not simulated time. *)
+  suspensions : int;
+      (** host-side: effect-handler suspensions performed during the run *)
+  heap_ops : int;  (** host-side: ready-heap pushes + pops during the run *)
   per_proc : proc_stats array;
 }
 

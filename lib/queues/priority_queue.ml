@@ -61,6 +61,8 @@ let deq q =
   top.value
 
 let deq_opt q = match deq q with x -> Some x | exception Empty -> None
+let peek q = if q.size = 0 then raise Empty else q.heap.(0).value
+let peek_opt q = if q.size = 0 then None else Some q.heap.(0).value
 let length q = q.size
 let is_empty q = q.size = 0
 

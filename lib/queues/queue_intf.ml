@@ -46,6 +46,12 @@ module type PRIORITY_QUEUE = sig
       @raise Empty when the queue is empty. *)
 
   val deq_opt : 'a queue -> 'a option
+
+  val peek : 'a queue -> 'a
+  (** The element {!deq} would return, without removing it.
+      @raise Empty when the queue is empty. *)
+
+  val peek_opt : 'a queue -> 'a option
   val length : 'a queue -> int
   val is_empty : 'a queue -> bool
 

@@ -37,6 +37,9 @@ struct
     mutable gc_wait : int;
     mutable spins : int;
     mutable alloc_words : int;
+    mutable ran_ahead : int;
+        (* cycles accumulated inline (run-ahead fast path) since the last
+           real suspension; flushed to the trace when the proc suspends *)
   }
 
   let fresh_proc id =
@@ -50,9 +53,15 @@ struct
       gc_wait = 0;
       spins = 0;
       alloc_words = 0;
+      ran_ahead = 0;
     }
 
   let procs = Array.init config.procs fresh_proc
+
+  (* Ready procs, keyed (clock, id): the scheduler pops the minimum instead
+     of scanning all procs.  Invariant: a proc is in the heap iff its state
+     is [Ready _]. *)
+  let ready = Ready_heap.create ~ids:config.procs ~dummy:procs.(0)
   let current = ref 0
   let cur () = procs.(!current)
   let bus_free_at = ref 0
@@ -63,6 +72,9 @@ struct
   let gc_count = ref 0
   let gc_cycles_total = ref 0
   let max_clock = ref 0
+  let sched_decisions_ct = ref 0
+  let coalesced_ct = ref 0
+  let susp_at_start = ref 0
   let escaped : exn option ref = ref None
   let poll_hook = ref (fun () -> ())
   let running = ref false
@@ -73,31 +85,117 @@ struct
 
   let observe_clock n = if n > !max_clock then max_clock := n
 
+  (* Real-time watchdog for debugging client deadlocks: dump proc states if
+     the simulation makes this many scheduling decisions without finishing. *)
+  let debug_iterations =
+    match Sys.getenv_opt "MP_SIM_DEBUG_ITERS" with
+    | Some v -> int_of_string_opt v
+    | None -> None
+
+  (* The watchdog counts scheduling decisions, so when it is armed every
+     charge must go through the scheduler. *)
+  let run_ahead_enabled = config.run_ahead && debug_iterations = None
+
+  (* ------------------------------------------------------------------ *)
+  (* Ready-set maintenance.                                             *)
+  (* ------------------------------------------------------------------ *)
+
+  let check_heap () =
+    if config.heap_debug then assert (Ready_heap.valid ready)
+
+  (* A suspension flushes any run-ahead accumulation: later inline charges
+     belong to the next dispatch. *)
+  let flush_run_ahead p =
+    if p.ran_ahead > 0 then begin
+      if !trace <> None then
+        trace_event
+          (Sim_trace.Coalesced
+             { proc = p.id; clock = p.clock; cycles = p.ran_ahead });
+      p.ran_ahead <- 0
+    end
+
+  let set_ready p a =
+    flush_run_ahead p;
+    p.state <- Ready a;
+    Ready_heap.push ready ~clock:p.clock ~id:p.id p;
+    check_heap ()
+
   (* ------------------------------------------------------------------ *)
   (* Fiber-side charging primitives.                                    *)
   (* ------------------------------------------------------------------ *)
 
   let yield_ready p c =
-    p.state <- Ready (Engine.Resume (c, ()));
+    set_ready p (Engine.Resume (c, ()));
     A_yield
 
+  (* Run-ahead fast path.  [inline_charge p ~cpu ~bytes ~idle] advances [p]
+     past [cpu] cycles of work followed by a [bytes]-byte bus transfer
+     (0 = none) without suspending, and returns [true], exactly when the
+     scheduler would hand control straight back to [p] anyway: no GC is
+     pending and [p]'s post-charge (clock, id) key still precedes every
+     ready proc's key.  In that case the suspend/dispatch round-trip it
+     skips is a virtual-time no-op, so results are bit-identical to the
+     always-suspend scheduler; all accounting below mirrors the slow path
+     ([charge_busy]/[charge_idle] + [bus_transfer]) term for term. *)
+  let inline_charge p ~cpu ~bytes ~idle =
+    run_ahead_enabled
+    && (not !gc_pending)
+    (* Early out on a lower bound of the post-charge clock before any bus
+       arithmetic: the key is monotone in the clock, so failing here means
+       the exact check below would fail too.  This keeps the cost of a
+       failed attempt (the common case under multi-proc contention) to a
+       few integer compares. *)
+    && Ready_heap.precedes_min ready
+         ~clock:(if bytes = 0 then p.clock + cpu else p.clock + cpu + 1)
+         ~id:p.id
+    &&
+    let dur =
+      if bytes = 0 then 0
+      else
+        max 1 (int_of_float (float_of_int bytes /. config.bus_bytes_per_cycle))
+    in
+    let start =
+      if bytes = 0 then p.clock + cpu else max (p.clock + cpu) !bus_free_at
+    in
+    let clock' = start + dur in
+    let total = clock' - p.clock in
+    p.ran_ahead + total <= config.run_ahead_window
+    && (bytes = 0 || Ready_heap.precedes_min ready ~clock:clock' ~id:p.id)
+    && begin
+         p.clock <- clock';
+         if idle then p.idle <- p.idle + total else p.busy <- p.busy + total;
+         if bytes > 0 then begin
+           bus_free_at := clock';
+           bus_busy := !bus_busy + dur;
+           bus_total_bytes := !bus_total_bytes + bytes
+         end;
+         p.ran_ahead <- p.ran_ahead + total;
+         incr coalesced_ct;
+         observe_clock clock';
+         true
+       end
+
   let charge_busy n =
-    if n > 0 then
-      Engine.suspend (fun c ->
-          let p = cur () in
-          p.clock <- p.clock + n;
-          p.busy <- p.busy + n;
-          observe_clock p.clock;
-          yield_ready p c)
+    if n > 0 then begin
+      let p = cur () in
+      if not (inline_charge p ~cpu:n ~bytes:0 ~idle:false) then
+        Engine.suspend (fun c ->
+            p.clock <- p.clock + n;
+            p.busy <- p.busy + n;
+            observe_clock p.clock;
+            yield_ready p c)
+    end
 
   let charge_idle n =
-    if n > 0 then
-      Engine.suspend (fun c ->
-          let p = cur () in
-          p.clock <- p.clock + n;
-          p.idle <- p.idle + n;
-          observe_clock p.clock;
-          yield_ready p c)
+    if n > 0 then begin
+      let p = cur () in
+      if not (inline_charge p ~cpu:n ~bytes:0 ~idle:true) then
+        Engine.suspend (fun c ->
+            p.clock <- p.clock + n;
+            p.idle <- p.idle + n;
+            observe_clock p.clock;
+            yield_ready p c)
+    end
 
   (* FCFS shared bus: runs inside a suspend body, advances [p] past the end
      of its transfer.  Queueing stall counts as busy time (the proc is
@@ -121,19 +219,30 @@ struct
   let alloc_slice_words = 256
 
   let alloc_one_slice words =
-    if words > 0 then
-      Engine.suspend (fun c ->
-        let p = cur () in
-        let cpu =
-          int_of_float (config.alloc_cycles_per_word *. float_of_int words)
-        in
-        p.clock <- p.clock + cpu;
-        p.busy <- p.busy + cpu;
-        bus_transfer p (words * config.word_bytes);
+    if words > 0 then begin
+      let p = cur () in
+      let cpu =
+        int_of_float (config.alloc_cycles_per_word *. float_of_int words)
+      in
+      (* Fast path additionally requires that this slice does not fill the
+         allocation region: a GC trigger must park the proc. *)
+      if
+        !region_used + words < config.gc_region_words
+        && inline_charge p ~cpu ~bytes:(words * config.word_bytes) ~idle:false
+      then begin
         p.alloc_words <- p.alloc_words + words;
-        region_used := !region_used + words;
-        if !region_used >= config.gc_region_words then gc_pending := true;
-        yield_ready p c)
+        region_used := !region_used + words
+      end
+      else
+        Engine.suspend (fun c ->
+            p.clock <- p.clock + cpu;
+            p.busy <- p.busy + cpu;
+            bus_transfer p (words * config.word_bytes);
+            p.alloc_words <- p.alloc_words + words;
+            region_used := !region_used + words;
+            if !region_used >= config.gc_region_words then gc_pending := true;
+            yield_ready p c)
+    end
 
   let alloc_impl words =
     let remaining = ref words in
@@ -193,13 +302,16 @@ struct
     in
     let finish = gc_start + dur in
     trace_event (Sim_trace.Gc_start { clock = gc_start; region_words = gc_started_region });
+    (* Release before clearing gc_pending so [set_ready]'s heap pushes see a
+       consistent world; clocks all equal [finish], so dispatch order among
+       the released procs is by id, as with the scan. *)
     Array.iter
       (fun p ->
         match p.state with
         | Gc_waiting pending ->
             p.gc_wait <- p.gc_wait + (finish - p.clock);
             p.clock <- finish;
-            p.state <- Ready pending
+            set_ready p pending
         | Free | Ready _ | Current -> ())
       procs;
     observe_clock finish;
@@ -209,28 +321,8 @@ struct
     region_used := 0;
     gc_pending := false
 
-  let pick_min_ready () =
-    let best = ref None in
-    Array.iter
-      (fun p ->
-        match p.state with
-        | Ready _ -> (
-            match !best with
-            | Some b when b.clock <= p.clock -> ()
-            | _ -> best := Some p)
-        | Free | Current | Gc_waiting _ -> ())
-      procs;
-    !best
-
   let any_gc_waiting () =
     Array.exists (fun p -> match p.state with Gc_waiting _ -> true | _ -> false) procs
-
-  (* Real-time watchdog for debugging client deadlocks: dump proc states if
-     the simulation makes this many scheduling decisions without finishing. *)
-  let debug_iterations =
-    match Sys.getenv_opt "MP_SIM_DEBUG_ITERS" with
-    | Some v -> int_of_string_opt v
-    | None -> None
 
   let iter_count = ref 0
 
@@ -258,9 +350,12 @@ struct
         if !iter_count mod n = 0 then
           prerr_string (Printf.sprintf "[sim after %d decisions]\n%s" !iter_count (dump_states ()))
     | None -> ());
-    match pick_min_ready () with
-    | Some p ->
+    if not (Ready_heap.is_empty ready) then begin
+        let p = Ready_heap.pop_unchecked ready in
+        check_heap ();
         if !gc_pending then begin
+          (* Park ready procs at the barrier in min-clock order, exactly as
+             the scan did, until none remain and the collection can run. *)
           (match p.state with
           | Ready a -> p.state <- Gc_waiting a
           | Free | Current | Gc_waiting _ -> assert false);
@@ -268,6 +363,7 @@ struct
         end
         else begin
           let a = match p.state with Ready a -> a | _ -> assert false in
+          incr sched_decisions_ct;
           p.state <- Current;
           current := p.id;
           (if !trace <> None then
@@ -277,14 +373,14 @@ struct
              trace_event (Sim_trace.Freed { proc = p.id; clock = p.clock }));
           loop ()
         end
-    | None ->
-        if any_gc_waiting () then begin
-          (* Barrier complete: every non-free proc is parked at a clean
-             point.  (Also reached when gc_pending was consumed but stragglers
-             remain parked — run_gc releases them.) *)
-          run_gc ();
-          loop ()
-        end
+    end
+    else if any_gc_waiting () then begin
+      (* Barrier complete: every non-free proc is parked at a clean
+         point.  (Also reached when gc_pending was consumed but stragglers
+         remain parked — run_gc releases them.) *)
+      run_gc ();
+      loop ()
+    end
     (* else: all procs free — simulation over *)
 
   (* ------------------------------------------------------------------ *)
@@ -311,20 +407,22 @@ struct
                 let start = max q.clock p.clock in
                 q.idle <- q.idle + (start - q.clock);
                 q.clock <- start;
-                q.state <- Ready (Engine.Resume (cont, ()));
+                set_ready q (Engine.Resume (cont, ()));
                 trace_event
                   (Sim_trace.Acquired { proc = q.id; by = p.id; clock = p.clock });
-                p.state <- Ready (Engine.Resume (c, true));
+                set_ready p (Engine.Resume (c, true));
                 A_yield
             | None ->
-                p.state <- Ready (Engine.Resume (c, false));
+                set_ready p (Engine.Resume (c, false));
                 A_yield)
       in
       if not ok then raise No_More_Procs
 
     let release_proc () =
       Engine.suspend (fun _ ->
-          (cur ()).state <- Free;
+          let p = cur () in
+          flush_run_ahead p;
+          p.state <- Free;
           A_yield)
 
     let initial_datum = D.initial
@@ -345,17 +443,24 @@ struct
     let mutex_lock () = { held = false }
 
     (* Charge the probe first (a suspension point), then test-and-set with
-       no intervening suspension — atomic in virtual time. *)
+       no intervening suspension — atomic in virtual time.  When the
+       run-ahead probe says the proc would be re-dispatched immediately, no
+       other proc can run between charge and test either way, so the
+       inline charge preserves the same atomicity. *)
     let try_lock l =
-      Engine.suspend (fun c ->
-          let p = cur () in
-          p.clock <- p.clock + config.try_lock_cycles;
-          p.busy <- p.busy + config.try_lock_cycles;
-          bus_transfer p config.lock_bus_bytes;
-          yield_ready p c);
+      let p = cur () in
+      if
+        not
+          (inline_charge p ~cpu:config.try_lock_cycles
+             ~bytes:config.lock_bus_bytes ~idle:false)
+      then
+        Engine.suspend (fun c ->
+            p.clock <- p.clock + config.try_lock_cycles;
+            p.busy <- p.busy + config.try_lock_cycles;
+            bus_transfer p config.lock_bus_bytes;
+            yield_ready p c);
       if l.held then begin
-        let p = cur () in
-        p.spins <- p.spins + 1;
+        (cur ()).spins <- (cur ()).spins + 1;
         false
       end
       else begin
@@ -366,23 +471,32 @@ struct
     (* Deterministic per-proc, per-attempt jitter on the retry delay breaks
        the phase-locking that a fixed period can produce under the
        deterministic min-clock scheduler (a spinning proc could otherwise
-       probe forever exactly inside other procs' hold windows). *)
+       probe forever exactly inside other procs' hold windows).  The
+       multipliers and modulus are Sim_config knobs for backoff
+       experiments. *)
     let lock l =
       let attempt = ref 0 in
       while not (try_lock l) do
         incr attempt;
         charge_busy
           (config.spin_retry_cycles
-          + (((!current * 37) + (!attempt * 13)) mod 101))
+          + (((!current * config.spin_jitter_proc)
+             + (!attempt * config.spin_jitter_attempt))
+            mod config.spin_jitter_mod))
       done
 
     let unlock l =
-      Engine.suspend (fun c ->
-          let p = cur () in
-          p.clock <- p.clock + config.unlock_cycles;
-          p.busy <- p.busy + config.unlock_cycles;
-          bus_transfer p config.lock_bus_bytes;
-          yield_ready p c);
+      let p = cur () in
+      if
+        not
+          (inline_charge p ~cpu:config.unlock_cycles
+             ~bytes:config.lock_bus_bytes ~idle:false)
+      then
+        Engine.suspend (fun c ->
+            p.clock <- p.clock + config.unlock_cycles;
+            p.busy <- p.busy + config.unlock_cycles;
+            bus_transfer p config.lock_bus_bytes;
+            yield_ready p c);
       l.held <- false
   end
 
@@ -391,11 +505,13 @@ struct
     let alloc ~words = alloc_impl words
 
     let traffic ~bytes =
-      if bytes > 0 then
-        Engine.suspend (fun c ->
-            let p = cur () in
-            bus_transfer p bytes;
-            yield_ready p c)
+      if bytes > 0 then begin
+        let p = cur () in
+        if not (inline_charge p ~cpu:0 ~bytes ~idle:false) then
+          Engine.suspend (fun c ->
+              bus_transfer p bytes;
+              yield_ready p c)
+      end
 
     (* Interleave compute and allocation slices so the generated bus
        traffic is spread across the work, as real allocation is. *)
@@ -429,8 +545,10 @@ struct
         p.idle <- 0;
         p.gc_wait <- 0;
         p.spins <- 0;
-        p.alloc_words <- 0)
+        p.alloc_words <- 0;
+        p.ran_ahead <- 0)
       procs;
+    Ready_heap.clear ready;
     bus_free_at := 0;
     bus_busy := 0;
     bus_total_bytes := 0;
@@ -439,6 +557,9 @@ struct
     gc_count := 0;
     gc_cycles_total := 0;
     max_clock := 0;
+    sched_decisions_ct := 0;
+    coalesced_ct := 0;
+    susp_at_start := Engine.suspensions ();
     escaped := None;
     poll_hook := (fun () -> ())
 
@@ -447,8 +568,7 @@ struct
     running := true;
     reset ();
     let result = ref None in
-    procs.(0).state <-
-      Ready (Engine.Start (fun () -> result := Some (f ())));
+    set_ready procs.(0) (Engine.Start (fun () -> result := Some (f ())));
     current := 0;
     Fun.protect
       ~finally:(fun () -> running := false)
@@ -481,6 +601,9 @@ struct
       gc_count = !gc_count;
       bus_busy = secs !bus_busy;
       bus_bytes = !bus_total_bytes;
+      sched_decisions = !sched_decisions_ct;
+      suspensions = Engine.suspensions () - !susp_at_start;
+      heap_ops = Ready_heap.ops ready;
     }
 
   let reset_stats () = reset ()
@@ -488,6 +611,10 @@ struct
   module Machine = struct
     let config = config
     let makespan_cycles () = !max_clock
+    let sched_decisions () = !sched_decisions_ct
+    let suspensions () = Engine.suspensions () - !susp_at_start
+    let heap_ops () = Ready_heap.ops ready
+    let coalesced_charges () = !coalesced_ct
     let gc_cycles () = !gc_cycles_total
     let gc_collections () = !gc_count
     let bus_bytes () = !bus_total_bytes

@@ -35,6 +35,20 @@ end)
     val makespan_cycles : unit -> int
     (** Largest virtual clock reached in the last [run]. *)
 
+    val sched_decisions : unit -> int
+    (** Host-side: procs dispatched by the event loop in the last [run]. *)
+
+    val suspensions : unit -> int
+    (** Host-side: effect-handler suspensions since the last [run] started
+        (process-wide; meaningful when one platform runs at a time). *)
+
+    val heap_ops : unit -> int
+    (** Host-side: ready-heap pushes + pops in the last [run]. *)
+
+    val coalesced_charges : unit -> int
+    (** Host-side: charging operations absorbed inline by the run-ahead
+        fast path (each would have been one suspension + one dispatch). *)
+
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
     val bus_bytes : unit -> int
@@ -66,6 +80,10 @@ end)
   module Machine : sig
     val config : Sim_config.t
     val makespan_cycles : unit -> int
+    val sched_decisions : unit -> int
+    val suspensions : unit -> int
+    val heap_ops : unit -> int
+    val coalesced_charges : unit -> int
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
     val bus_bytes : unit -> int

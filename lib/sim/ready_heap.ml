@@ -1,0 +1,128 @@
+exception Duplicate_id
+
+(* The (clock, id) key is packed into a single int, [clock * n + id]: with
+   0 <= id < n this preserves the lexicographic order as plain integer
+   comparison, so the sift loops touch one array instead of two.  The
+   packing bounds clocks at [max_int / n] cycles — at 16 procs that is
+   ~2^58 cycles, half a millennium of simulated time at 16 MHz.  [valid]
+   checks for the overflow symptom (a negative key). *)
+type 'a t = {
+  n : int; (* id universe and packing stride *)
+  keys : int array; (* slot -> clock * n + id *)
+  values : 'a array; (* slot -> payload; slots >= size hold junk *)
+  pos : int array; (* id -> slot, or -1 when absent *)
+  mutable size : int;
+  mutable ops : int;
+}
+
+let create ~ids ~dummy =
+  if ids <= 0 then invalid_arg "Ready_heap.create";
+  {
+    n = ids;
+    keys = Array.make ids 0;
+    values = Array.make ids dummy;
+    pos = Array.make ids (-1);
+    size = 0;
+    ops = 0;
+  }
+
+let length t = t.size
+let is_empty t = t.size = 0
+let ops t = t.ops
+let mem t ~id = t.pos.(id) >= 0
+
+(* Min order: earliest clock first, lowest id among equal clocks — exactly
+   the order the O(P)-scan scheduler picked, so heap and scan dispatch
+   identical sequences. *)
+
+let push t ~clock ~id v =
+  if t.pos.(id) >= 0 then raise Duplicate_id;
+  let k = (clock * t.n) + id in
+  t.size <- t.size + 1;
+  t.ops <- t.ops + 1;
+  (* Sift the hole up: shift larger parents down, place (k, v) once. *)
+  let i = ref (t.size - 1) in
+  let placed = ref false in
+  while not !placed do
+    if !i = 0 then placed := true
+    else begin
+      let parent = (!i - 1) / 2 in
+      let pk = t.keys.(parent) in
+      if pk > k then begin
+        t.keys.(!i) <- pk;
+        t.values.(!i) <- t.values.(parent);
+        t.pos.(pk mod t.n) <- !i;
+        i := parent
+      end
+      else placed := true
+    end
+  done;
+  t.keys.(!i) <- k;
+  t.values.(!i) <- v;
+  t.pos.(id) <- !i
+
+let min_key t =
+  if t.size = 0 then None else Some (t.keys.(0) / t.n, t.keys.(0) mod t.n)
+
+(* Allocation-free probe for the run-ahead fast path: would (clock, id)
+   be dispatched ahead of every currently-ready proc? *)
+let precedes_min t ~clock ~id =
+  t.size = 0 || (clock * t.n) + id < t.keys.(0)
+
+(* Remove and return the minimum.  Undefined on an empty heap — callers
+   check [is_empty]; [pop] wraps this in an option. *)
+let pop_unchecked t =
+  let v = t.values.(0) in
+  t.pos.(t.keys.(0) mod t.n) <- -1;
+  let last = t.size - 1 in
+  t.size <- last;
+  t.ops <- t.ops + 1;
+  if last > 0 then begin
+    let k = t.keys.(last) in
+    let mv = t.values.(last) in
+    (* Sift the root hole down: shift smaller children up, place once. *)
+    let i = ref 0 in
+    let placed = ref false in
+    while not !placed do
+      let l = (2 * !i) + 1 in
+      if l >= last then placed := true
+      else begin
+        let r = l + 1 in
+        let c = if r < last && t.keys.(r) < t.keys.(l) then r else l in
+        let ck = t.keys.(c) in
+        if ck < k then begin
+          t.keys.(!i) <- ck;
+          t.values.(!i) <- t.values.(c);
+          t.pos.(ck mod t.n) <- !i;
+          i := c
+        end
+        else placed := true
+      end
+    done;
+    t.keys.(!i) <- k;
+    t.values.(!i) <- mv;
+    t.pos.(k mod t.n) <- !i
+  end;
+  v
+
+let pop t = if t.size = 0 then None else Some (pop_unchecked t)
+
+let clear t =
+  for i = 0 to t.size - 1 do
+    t.pos.(t.keys.(i) mod t.n) <- -1
+  done;
+  t.size <- 0;
+  t.ops <- 0
+
+let valid t =
+  let ok = ref true in
+  for i = 1 to t.size - 1 do
+    if t.keys.(i) < t.keys.((i - 1) / 2) then ok := false
+  done;
+  for i = 0 to t.size - 1 do
+    if t.keys.(i) < 0 then ok := false;
+    if t.pos.(t.keys.(i) mod t.n) <> i then ok := false
+  done;
+  let members = ref 0 in
+  Array.iter (fun p -> if p >= 0 then incr members) t.pos;
+  !ok && !members = t.size

@@ -17,6 +17,12 @@ type t = {
   gc_fixed_cycles : int;
   gc_parallelism : float;
   acquire_proc_cycles : int;
+  spin_jitter_proc : int;
+  spin_jitter_attempt : int;
+  spin_jitter_mod : int;
+  run_ahead : bool;
+  run_ahead_window : int;
+  heap_debug : bool;
 }
 
 (* Sequent Symmetry S81: 16 MHz 80386s; 25 MB/s usable bus; MP mutex
@@ -41,6 +47,12 @@ let sequent ?(procs = 16) () =
     gc_fixed_cycles = 100_000;
     gc_parallelism = 1.0;
     acquire_proc_cycles = 10_000;
+    spin_jitter_proc = 37;
+    spin_jitter_attempt = 13;
+    spin_jitter_mod = 101;
+    run_ahead = true;
+    run_ahead_window = max_int;
+    heap_debug = false;
   }
 
 (* SGI 4D/380S: 33 MHz R3000s (roughly 8x the per-processor throughput of
@@ -65,6 +77,12 @@ let sgi ?(procs = 8) () =
     gc_fixed_cycles = 60_000;
     gc_parallelism = 1.0;
     acquire_proc_cycles = 6_000;
+    spin_jitter_proc = 37;
+    spin_jitter_attempt = 13;
+    spin_jitter_mod = 101;
+    run_ahead = true;
+    run_ahead_window = max_int;
+    heap_debug = false;
   }
 
 let with_parallel_gc c factor =

@@ -34,6 +34,31 @@ type t = {
           sequential collector, >1 models the concurrent collector its §7
           lists as future work *)
   acquire_proc_cycles : int;  (** OS cost of acquiring a proc (§3.1) *)
+  spin_jitter_proc : int;
+      (** per-proc multiplier of the deterministic spin-retry jitter *)
+  spin_jitter_attempt : int;  (** per-attempt multiplier of the jitter *)
+  spin_jitter_mod : int;
+      (** modulus bounding the jitter, in cycles; must be >= 1.  The jitter
+          added to [spin_retry_cycles] on the [n]th failed probe by proc [p]
+          is [(p * spin_jitter_proc + n * spin_jitter_attempt) mod
+          spin_jitter_mod], breaking the phase-locking a fixed retry period
+          can produce under the deterministic min-clock scheduler. *)
+  run_ahead : bool;
+      (** Enable the scheduler's run-ahead fast path: charging operations
+          accumulate cycles inline, without an effect-handler suspension,
+          for as long as the proc would be re-dispatched immediately anyway.
+          Virtual-time results are bit-identical either way; [false] forces
+          one suspension per charge (the pre-optimization behavior, useful
+          for debugging and as the determinism-equivalence oracle). *)
+  run_ahead_window : int;
+      (** Maximum cycles a proc may accumulate inline before a forced
+          suspension.  Any non-negative value preserves virtual time (a
+          forced suspension just bounces through the scheduler, which
+          re-picks the same proc); smaller windows give finer-grained traces
+          and watchdog coverage at more host cost.  [max_int] = unbounded. *)
+  heap_debug : bool;
+      (** Check ready-heap invariants (heap order + index consistency)
+          after every scheduler operation; O(procs) per check, debug only. *)
 }
 
 val sequent : ?procs:int -> unit -> t

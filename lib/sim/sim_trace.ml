@@ -4,6 +4,7 @@ type event =
   | Acquired of { proc : int; by : int; clock : int }
   | Gc_start of { clock : int; region_words : int }
   | Gc_end of { clock : int; duration : int }
+  | Coalesced of { proc : int; clock : int; cycles : int }
 
 type t = {
   ring : event option array;
@@ -42,7 +43,8 @@ let clock_of = function
   | Freed { clock; _ }
   | Acquired { clock; _ }
   | Gc_start { clock; _ }
-  | Gc_end { clock; _ } ->
+  | Gc_end { clock; _ }
+  | Coalesced { clock; _ } ->
       clock
 
 let pp_event fmt = function
@@ -54,6 +56,9 @@ let pp_event fmt = function
       Format.fprintf fmt "%10d gc-start (region %d words)" clock region_words
   | Gc_end { clock; duration } ->
       Format.fprintf fmt "%10d gc-end   (%d cycles)" clock duration
+  | Coalesced { proc; clock; cycles } ->
+      Format.fprintf fmt "%10d coalesce p%d (%d cycles inline)" clock proc
+        cycles
 
 let pp fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

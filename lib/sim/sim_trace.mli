@@ -13,6 +13,11 @@ type event =
   | Acquired of { proc : int; by : int; clock : int }
   | Gc_start of { clock : int; region_words : int }
   | Gc_end of { clock : int; duration : int }
+  | Coalesced of { proc : int; clock : int; cycles : int }
+      (** [cycles] of charges the run-ahead fast path absorbed inline since
+          the proc's last dispatch, recorded when it finally suspends at
+          [clock].  One event summarizes what would otherwise have been a
+          string of dispatches. *)
 
 type t
 

@@ -292,6 +292,169 @@ let test_trace_ring_bounds () =
   Sim.Sim_trace.clear t;
   check "cleared" 0 (Sim.Sim_trace.length t)
 
+(* ---------------- ready heap ---------------- *)
+
+let test_ready_heap_order () =
+  let h = Sim.Ready_heap.create ~ids:8 ~dummy:(-1) in
+  List.iter
+    (fun (clock, id) -> Sim.Ready_heap.push h ~clock ~id id)
+    [ (50, 3); (10, 5); (10, 2); (99, 0); (10, 7) ];
+  checkb "valid after pushes" true (Sim.Ready_heap.valid h);
+  check "size" 5 (Sim.Ready_heap.length h);
+  checkb "min key" true (Sim.Ready_heap.min_key h = Some (10, 2));
+  let order = List.init 5 (fun _ -> Option.get (Sim.Ready_heap.pop h)) in
+  (* earliest clock first; lowest id among equal clocks *)
+  Alcotest.(check (list int)) "pop order" [ 2; 5; 7; 3; 0 ] order;
+  checkb "empty" true (Sim.Ready_heap.is_empty h)
+
+let test_ready_heap_index () =
+  let h = Sim.Ready_heap.create ~ids:4 ~dummy:0 in
+  Sim.Ready_heap.push h ~clock:5 ~id:1 11;
+  checkb "mem" true (Sim.Ready_heap.mem h ~id:1);
+  checkb "not mem" false (Sim.Ready_heap.mem h ~id:0);
+  checkb "duplicate rejected" true
+    (match Sim.Ready_heap.push h ~clock:9 ~id:1 12 with
+    | () -> false
+    | exception Sim.Ready_heap.Duplicate_id -> true);
+  checkb "ops counted" true (Sim.Ready_heap.ops h >= 1);
+  Sim.Ready_heap.clear h;
+  checkb "cleared" true (Sim.Ready_heap.is_empty h);
+  checkb "membership cleared" false (Sim.Ready_heap.mem h ~id:1);
+  Sim.Ready_heap.push h ~clock:1 ~id:1 13;
+  checkb "reusable after clear" true (Sim.Ready_heap.pop h = Some 13)
+
+let prop_ready_heap_sorts =
+  QCheck.Test.make ~name:"ready heap pops in (clock, id) lexicographic order"
+    ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 32) (int_range 0 1000))
+    (fun clocks ->
+      let n = List.length clocks in
+      let h = Sim.Ready_heap.create ~ids:(max 1 n) ~dummy:(-1, -1) in
+      List.iteri
+        (fun id clock -> Sim.Ready_heap.push h ~clock ~id (clock, id))
+        clocks;
+      let popped = List.init n (fun _ -> Option.get (Sim.Ready_heap.pop h)) in
+      popped = List.sort compare popped
+      && List.sort compare popped
+         = List.sort compare (List.mapi (fun id c -> (c, id)) clocks))
+
+(* ---------------- determinism equivalence (goldens) ---------------- *)
+
+(* The golden values below were captured from the pre-ready-heap,
+   always-suspend scheduler (seed of PR 1) by bench/sim_golden.exe.  Any
+   scheduler or run-ahead change that alters virtual time fails these; a
+   legitimate model change must regenerate the table with that tool and
+   justify the diff. *)
+
+module GCfg = struct
+  let config = Sim.Sim_config.sequent ~procs:16 ()
+end
+
+module G = Sim.Mp_sim.Int (GCfg) ()
+module GB = Workloads.Bench_suite.Make (G)
+
+(* Same machine with the run-ahead fast path disabled: one suspension per
+   charge, the seed behavior.  Used as a live equivalence oracle. *)
+module NoRa =
+  Sim.Mp_sim.Int (struct
+      let config =
+        { (Sim.Sim_config.sequent ~procs:16 ()) with run_ahead = false }
+    end)
+    ()
+
+module NoRaB = Workloads.Bench_suite.Make (NoRa)
+
+(* (procs, makespan cycles, collections, bus bytes, result witness) *)
+let golden : (string * (int * int * int * int * int) list) list =
+  [
+    ( "allpairs",
+      [
+        (1, 24989411, 3, 6779796, 3110929143068210077);
+        (4, 8254180, 3, 6795260, 3110929143068210077);
+        (16, 7240736, 3, 6928468, 3110929143068210077);
+      ] );
+    ( "mst",
+      [
+        (1, 13100115, 0, 1144688, 545289);
+        (4, 4813737, 0, 1196944, 545289);
+        (16, 4121773, 0, 1398592, 545289);
+      ] );
+    ( "abisort",
+      [
+        (1, 15615536, 1, 3237376, -3144944675602481919);
+        (4, 4766695, 1, 3238384, -3144944675602481919);
+        (16, 3261294, 1, 3252032, -3144944675602481919);
+      ] );
+    ( "simple",
+      [
+        (1, 6194562, 0, 1365280, 3572242472924374168);
+        (4, 1875882, 0, 1366592, 3572242472924374168);
+        (16, 1990043, 0, 1372312, 3572242472924374168);
+      ] );
+    ( "mm",
+      [
+        (1, 41473586, 1, 4083440, -2429353301021976480);
+        (4, 12229207, 1, 4084384, -2429353301021976480);
+        (16, 4229267, 1, 4089544, -2429353301021976480);
+      ] );
+    ( "seq",
+      [
+        (1, 4850864, 0, 286144, 1);
+        (4, 4898818, 0, 1144520, 4);
+        (16, 6224842, 2, 4579288, 16);
+      ] );
+  ]
+
+let golden_case bench rows () =
+  List.iter
+    (fun (procs, makespan, gc, bus, witness) ->
+      let tag s = Printf.sprintf "%s@%d %s" bench procs s in
+      let w = GB.run_named bench ~procs in
+      check (tag "witness") witness w;
+      check (tag "makespan") makespan (G.Machine.makespan_cycles ());
+      check (tag "collections") gc (G.Machine.gc_collections ());
+      check (tag "bus bytes") bus (G.Machine.bus_bytes ()))
+    rows
+
+(* Cross-check the oracle: the run-ahead scheduler and the always-suspend
+   scheduler agree cycle-for-cycle (the goldens then pin both to the seed). *)
+let test_run_ahead_equivalence () =
+  List.iter
+    (fun (bench, procs) ->
+      let wf = GB.run_named bench ~procs in
+      let mf = G.Machine.makespan_cycles () in
+      let gf = G.Machine.gc_collections () in
+      let bf = G.Machine.bus_bytes () in
+      let ws = NoRaB.run_named bench ~procs in
+      let tag s = Printf.sprintf "%s@%d %s" bench procs s in
+      check (tag "witness") ws wf;
+      check (tag "makespan") (NoRa.Machine.makespan_cycles ()) mf;
+      check (tag "collections") (NoRa.Machine.gc_collections ()) gf;
+      check (tag "bus bytes") (NoRa.Machine.bus_bytes ()) bf)
+    [ ("abisort", 4); ("mst", 4); ("seq", 16) ]
+
+(* ---------------- sim-core host cost budget ---------------- *)
+
+(* Smoke check that the run-ahead fast path stays effective: on a fixed
+   single-proc workload it must (a) stay under an absolute suspension
+   budget and (b) beat the always-suspend scheduler by >= 2x.  The seed
+   scheduler spent ~8800 suspensions here. *)
+let test_suspension_budget () =
+  ignore (GB.run_named "mm" ~procs:1);
+  let fast = G.Machine.suspensions () in
+  let decisions = G.Machine.sched_decisions () in
+  ignore (NoRaB.run_named "mm" ~procs:1);
+  let slow = NoRa.Machine.suspensions () in
+  checkb
+    (Printf.sprintf "fast path under budget (%d suspensions)" fast)
+    true (fast < 1_000);
+  checkb
+    (Printf.sprintf "fast >= 2x fewer suspensions (%d vs %d)" fast slow)
+    true (2 * fast <= slow);
+  checkb "decisions collapsed too" true (decisions < 1_000);
+  checkb "coalesced charges recorded" true (G.Machine.coalesced_charges () > 0);
+  checkb "heap ops counted" true (G.Machine.heap_ops () >= 2 * decisions)
+
 let qt = QCheck_alcotest.to_alcotest
 
 let prop_charge_sum =
@@ -399,6 +562,23 @@ let () =
         [
           Alcotest.test_case "records events" `Quick test_trace_records;
           Alcotest.test_case "ring bounds" `Quick test_trace_ring_bounds;
+        ] );
+      ( "ready heap",
+        [
+          Alcotest.test_case "pop order" `Quick test_ready_heap_order;
+          Alcotest.test_case "index ops" `Quick test_ready_heap_index;
+          qt prop_ready_heap_sorts;
+        ] );
+      ( "goldens",
+        List.map
+          (fun (bench, rows) ->
+            Alcotest.test_case bench `Quick (golden_case bench rows))
+          golden );
+      ( "run-ahead",
+        [
+          Alcotest.test_case "equivalent to always-suspend" `Quick
+            test_run_ahead_equivalence;
+          Alcotest.test_case "suspension budget" `Quick test_suspension_budget;
         ] );
       ( "properties",
         [
