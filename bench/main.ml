@@ -492,6 +492,16 @@ let write_sim_json rows path =
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
+  (* The platform's telemetry counter registry after the sweep: machine
+     counters from the last run plus cumulative client-layer counters
+     (sched.forks, lock.spins, sync.blocks, ...). *)
+  let counters = Obs.Counters.dump Seq16.Telemetry.counters in
+  Printf.fprintf oc "  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Printf.fprintf oc "%s%S: %d" (if i = 0 then "" else ", ") name v)
+    counters;
+  Printf.fprintf oc "},\n";
   let tot f = List.fold_left (fun acc r -> acc + f r) 0 rows in
   Printf.fprintf oc
     "  \"totals\": {\"host_seconds\": %.6f, \"sched_decisions\": %d, \

@@ -18,6 +18,19 @@ let quick_arg =
   let doc = "Reduced sweep (1,4,16)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Stream telemetry events (scheduler, lock, GC, ...) to $(docv) as JSONL \
+     while the experiment runs.  Large for full sweeps; combine with \
+     $(b,--quick) for a bounded file."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let maybe_trace trace go =
+  match trace with
+  | None -> go ()
+  | Some path -> Report.Experiments.trace_sequent path go
+
 let plist_of quick procs =
   match procs with
   | Some l -> Some l
@@ -26,9 +39,12 @@ let plist_of quick procs =
 let sweep quick procs = Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ()
 
 let fig6_cmd =
-  let run quick procs = Report.Experiments.print_fig6 fmt (sweep quick procs) in
+  let run quick procs trace =
+    maybe_trace trace (fun () ->
+        Report.Experiments.print_fig6 fmt (sweep quick procs))
+  in
   Cmd.v (Cmd.info "fig6" ~doc:"Self-relative speedup curves (Figure 6)")
-    Term.(const run $ quick_arg $ procs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ trace_arg)
 
 let idle_cmd =
   let run quick procs = Report.Experiments.print_idle fmt (sweep quick procs) in
@@ -71,21 +87,22 @@ let portability_cmd =
     Term.(const run $ const ())
 
 let all_cmd =
-  let run quick procs =
+  let run quick procs trace =
     Report.Experiments.print_lock_latency fmt;
     Report.Experiments.print_portability fmt;
-    let s = sweep quick procs in
-    Report.Experiments.print_fig6 fmt s;
-    Report.Experiments.print_idle fmt s;
-    Report.Experiments.print_bus fmt s;
-    Report.Experiments.print_gc_ablation fmt s;
+    maybe_trace trace (fun () ->
+        let s = sweep quick procs in
+        Report.Experiments.print_fig6 fmt s;
+        Report.Experiments.print_idle fmt s;
+        Report.Experiments.print_bus fmt s;
+        Report.Experiments.print_gc_ablation fmt s);
     Report.Experiments.print_sgi fmt
       (Report.Experiments.sgi_sweep
          ?plist:(if quick then Some [ 1; 4; 8 ] else None)
          ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Every evaluation section")
-    Term.(const run $ quick_arg $ procs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ trace_arg)
 
 let () =
   let info =

@@ -19,6 +19,11 @@ module Make (P : Mp.Mp_intf.PLATFORM) (C : COSTS) = struct
 
   let spins = ref 0
 
+  (* Spins from the lock-algorithm collection land in the platform's
+     registry under their own name so they don't collide with the
+     platform Lock's own "lock.spins". *)
+  let c_spins = P.Telemetry.counter "lock.prims_spins"
+
   let make v = Atomic.make v
 
   let get c =
@@ -54,7 +59,10 @@ module Make (P : Mp.Mp_intf.PLATFORM) (C : COSTS) = struct
   let pause_n n =
     if n > 0 then P.Work.charge (n * C.pause_cycles)
 
-  let on_spin () = incr spins
+  let on_spin () =
+    incr spins;
+    Obs.Counters.incr c_spins
+
   let spin_count () = !spins
   let reset_spin_count () = spins := 0
 end

@@ -65,3 +65,41 @@ end = struct
   let spin_count () = Atomic.get spins
   let reset_spin_count () = Atomic.set spins 0
 end
+
+(** Atomic primitives for a real backend whose contention statistics flow
+    into the platform's telemetry registry (under ["lock.prims_spins"],
+    like the charged simulator primitives), so spin counts from the
+    lock-algorithm collection surface uniformly across backends.  The
+    operations themselves are plain [Stdlib.Atomic] — no virtual-time
+    charging. *)
+module Platform_prims (P : Mp.Mp_intf.PLATFORM) : sig
+  include PRIMS
+
+  val spin_count : unit -> int
+  val reset_spin_count : unit -> unit
+end = struct
+  type 'a cell = 'a Atomic.t
+
+  let make = Atomic.make
+  let get = Atomic.get
+  let set = Atomic.set
+  let exchange = Atomic.exchange
+  let compare_and_set = Atomic.compare_and_set
+  let fetch_and_add = Atomic.fetch_and_add
+  let pause () = Domain.cpu_relax ()
+
+  let pause_n n =
+    for _ = 1 to n do
+      Domain.cpu_relax ()
+    done
+
+  let spins = Atomic.make 0
+  let c_spins = P.Telemetry.counter "lock.prims_spins"
+
+  let on_spin () =
+    Atomic.incr spins;
+    Obs.Counters.incr c_spins
+
+  let spin_count () = Atomic.get spins
+  let reset_spin_count () = Atomic.set spins 0
+end

@@ -46,6 +46,16 @@ module Make
 
   let proc_key = Domain.DLS.new_key (fun () -> -1)
 
+  module Telemetry = Mp_intf.Telemetry_of (struct
+    (* One stream per proc: each domain records only into its own ring, so
+       recording stays single-writer and lock-free.  Emissions from outside
+       any proc fall back to stream 0 (see [Obs.Telemetry.emit]). *)
+    let handle =
+      Obs.Telemetry.create ~streams:max_procs
+        ~stream_of:(fun () -> Domain.DLS.get proc_key)
+        ~now_ts:Mp_intf.host_ns ()
+  end)
+
   let my_slot () =
     let id = Domain.DLS.get proc_key in
     if id < 0 then invalid_arg "Mp_domains: not running on an MP proc";
@@ -60,11 +70,22 @@ module Make
     | _ -> raise Engine.Unhandled_action
 
   (* Run one delivery: execute [action] until this proc stops, then mark the
-     slot free.  Busy time is accounted to the slot. *)
+     slot free.  Busy time and minor-heap allocation (a per-domain counter
+     in OCaml 5, so the delta is this proc's own) are accounted to the
+     slot. *)
   let serve slot action =
     let t0 = Unix.gettimeofday () in
+    let w0 = Gc.minor_words () in
+    if Telemetry.enabled () then
+      Telemetry.emit
+        (Obs.Event.Dispatch { proc = slot.id; clock = Telemetry.now_ts () });
     exec action;
     slot.stats.busy <- slot.stats.busy +. (Unix.gettimeofday () -. t0);
+    slot.stats.alloc_words <-
+      slot.stats.alloc_words + int_of_float (Gc.minor_words () -. w0);
+    if Telemetry.enabled () then
+      Telemetry.emit
+        (Obs.Event.Freed { proc = slot.id; clock = Telemetry.now_ts () });
     Mutex.lock m;
     slot.state <- Free;
     Condition.broadcast cond;
@@ -75,9 +96,11 @@ module Make
     let slot = slots.(id) in
     let rec loop () =
       Mutex.lock m;
+      let w0 = Unix.gettimeofday () in
       while slot.inbox = None && not !quit do
         Condition.wait cond m
       done;
+      slot.stats.idle <- slot.stats.idle +. (Unix.gettimeofday () -. w0);
       match slot.inbox with
       | None ->
           (* quit requested *)
@@ -137,17 +160,34 @@ module Make
   module Lock = struct
     type mutex_lock = bool Atomic.t
 
+    let c_acquires = Telemetry.counter "lock.acquires"
+    let c_spins = Telemetry.counter "lock.spins"
     let mutex_lock () = Atomic.make false
-    let try_lock l = not (Atomic.exchange l true)
+
+    let try_lock l =
+      let ok = not (Atomic.exchange l true) in
+      if ok then Obs.Counters.incr c_acquires;
+      ok
 
     let lock l =
+      let contended = ref 0 in
       while not (try_lock l) do
         let stats = (my_slot ()).stats in
         stats.lock_spins <- stats.lock_spins + 1;
+        Obs.Counters.incr c_spins;
+        incr contended;
         while Atomic.get l do
           Domain.cpu_relax ()
         done
-      done
+      done;
+      if !contended > 0 && Telemetry.enabled () then
+        Telemetry.emit
+          (Obs.Event.Lock_contended
+             {
+               proc = max 0 (Domain.DLS.get proc_key);
+               clock = Telemetry.now_ts ();
+               spins = !contended;
+             })
 
     let unlock l = Atomic.set l false
   end
@@ -263,7 +303,9 @@ module Make
     Array.iteri
       (fun i s ->
         t.per_proc.(i).busy <- s.stats.busy;
-        t.per_proc.(i).lock_spins <- s.stats.lock_spins)
+        t.per_proc.(i).idle <- s.stats.idle;
+        t.per_proc.(i).lock_spins <- s.stats.lock_spins;
+        t.per_proc.(i).alloc_words <- s.stats.alloc_words)
       slots;
     { t with elapsed = !last_elapsed }
 

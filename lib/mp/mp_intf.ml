@@ -3,8 +3,9 @@
     A backend provides [PROC] (processor management and per-proc data),
     [LOCK] (mutex spin locks) and — beyond the paper, to support the
     simulated multiprocessor — [WORK] (virtual-cost charging and safe
-    points).  Client packages (thread systems, channels, CML) are functors
-    over [PLATFORM]. *)
+    points) and [TELEMETRY] (structured trace events and counters).
+    Client packages (thread systems, channels, CML) are functors over
+    [PLATFORM]. *)
 
 exception No_More_Procs
 (** Raised by [acquire_proc] when every proc is in use.  Shared across all
@@ -127,6 +128,71 @@ module type WORK = sig
   (** Seconds: virtual time on the simulator, wall clock otherwise. *)
 end
 
+(** Structured telemetry: typed trace events and named counters, emitted by
+    the platform itself and by any client layer built over it (thread
+    packages, locks, channels, CML).
+
+    Timestamps come from the backend clock — the proc's virtual clock on
+    the simulator, host nanoseconds on real backends — so one consumer
+    (e.g. the JSONL sink) works over both.  Event emission is off by
+    default and the disabled path is a static no-op: call sites guard
+    event construction behind [enabled], so a run with telemetry off
+    allocates nothing, charges no virtual time and takes no extra
+    suspensions.  Counters are always live ([Atomic] increments). *)
+module type TELEMETRY = sig
+  val handle : Obs.Telemetry.t
+  (** The underlying instance, for consumers that want direct access to
+      the per-stream rings. *)
+
+  val enabled : unit -> bool
+  (** Whether events are being recorded.  Emitting call sites must check
+      this {e before} constructing an event. *)
+
+  val now_ts : unit -> int
+  (** Backend timestamp: virtual cycles on the simulator, host nanoseconds
+      otherwise. *)
+
+  val emit : Obs.Event.t -> unit
+  (** Record an event (no-op when disabled).  Never charges virtual time
+      and never suspends. *)
+
+  val counters : Obs.Counters.t
+  (** This platform's counter registry. *)
+
+  val counter : string -> Obs.Counters.counter
+  (** Find-or-create in [counters]; resolve once, keep the handle. *)
+
+  val enable_memory : ?capacity:int -> unit -> unit
+  (** Start recording into per-stream in-memory rings. *)
+
+  val attach_sink : Obs.Sink.t -> unit
+  (** Start recording, forwarding every event to the sink. *)
+
+  val disable : unit -> unit
+  (** Flush any sink and stop recording.  Counters keep accumulating. *)
+
+  val events : unit -> Obs.Event.t list
+  (** Retained in-memory events, merged across streams in timestamp
+      order. *)
+end
+
+(** Derive the full [TELEMETRY] surface from a backend's
+    {!Obs.Telemetry.t} instance. *)
+module Telemetry_of (X : sig
+  val handle : Obs.Telemetry.t
+end) : TELEMETRY = struct
+  let handle = X.handle
+  let enabled () = Obs.Telemetry.enabled handle
+  let now_ts () = Obs.Telemetry.ts handle
+  let emit e = Obs.Telemetry.emit handle e
+  let counters = Obs.Telemetry.counters handle
+  let counter name = Obs.Counters.counter counters name
+  let enable_memory ?capacity () = Obs.Telemetry.enable_memory ?capacity handle
+  let attach_sink s = Obs.Telemetry.attach_sink handle s
+  let disable () = Obs.Telemetry.disable handle
+  let events () = Obs.Telemetry.events handle
+end
+
 (** A complete MP platform instance. *)
 module type PLATFORM = sig
   val name : string
@@ -135,6 +201,7 @@ module type PLATFORM = sig
   module Proc : PROC
   module Lock : LOCK
   module Work : WORK
+  module Telemetry : TELEMETRY
 
   val run : (unit -> 'a) -> 'a
   (** Execute a computation as the root fiber of the root proc; returns when
@@ -154,3 +221,7 @@ module Int_datum : DATUM with type t = int = struct
 
   let initial = 0
 end
+
+let host_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(** Host-clock timestamp for real backends' telemetry (see
+    {!TELEMETRY.now_ts}). *)

@@ -27,15 +27,28 @@ struct
     let live_procs () = 1
   end
 
+  module Telemetry = Mp_intf.Telemetry_of (struct
+    let handle =
+      Obs.Telemetry.create ~stream_of:(fun () -> 0) ~now_ts:Mp_intf.host_ns ()
+  end)
+
   module Lock = struct
     type mutex_lock = { mutable held : bool }
 
+    let spins = ref 0
+    let c_acquires = Telemetry.counter "lock.acquires"
+    let c_spins = Telemetry.counter "lock.spins"
     let mutex_lock () = { held = false }
 
     let try_lock l =
-      if l.held then false
+      if l.held then begin
+        incr spins;
+        Obs.Counters.incr c_spins;
+        false
+      end
       else begin
         l.held <- true;
+        Obs.Counters.incr c_acquires;
         true
       end
 
@@ -61,6 +74,7 @@ struct
   end
 
   let last_elapsed = ref 0.
+  let last_alloc_words = ref 0
   let running = ref false
 
   let rec exec ~on_exn action =
@@ -81,10 +95,17 @@ struct
       Engine.Stop
     in
     let t0 = Unix.gettimeofday () in
+    let w0 = Gc.minor_words () in
+    if Telemetry.enabled () then
+      Telemetry.emit (Obs.Event.Dispatch { proc = 0; clock = Telemetry.now_ts () });
     Fun.protect
       ~finally:(fun () ->
         running := false;
-        last_elapsed := Unix.gettimeofday () -. t0)
+        last_elapsed := Unix.gettimeofday () -. t0;
+        last_alloc_words := int_of_float (Gc.minor_words () -. w0);
+        if Telemetry.enabled () then
+          Telemetry.emit
+            (Obs.Event.Freed { proc = 0; clock = Telemetry.now_ts () }))
       (fun () ->
         exec ~on_exn (Engine.Start (fun () -> result := Some (f ())));
         match (!result, !escaped) with
@@ -96,9 +117,17 @@ struct
                  "uniproc root proc released without producing a result"))
 
   let stats () =
-    { (Stats.zero ~platform:name ~procs:1) with elapsed = !last_elapsed }
+    let t = Stats.zero ~platform:name ~procs:1 in
+    (* The single proc is running client code whenever the platform is. *)
+    t.per_proc.(0).busy <- !last_elapsed;
+    t.per_proc.(0).lock_spins <- !Lock.spins;
+    t.per_proc.(0).alloc_words <- !last_alloc_words;
+    { t with elapsed = !last_elapsed }
 
-  let reset_stats () = last_elapsed := 0.
+  let reset_stats () =
+    last_elapsed := 0.;
+    last_alloc_words := 0;
+    Lock.spins := 0
 end
 
 module Int () = Make (Mp_intf.Int_datum)

@@ -1,8 +1,11 @@
 (** Execution statistics reported uniformly by every MP backend.
 
-    The simulator fills every field from its virtual-time accounting; real
-    backends report what they can measure (elapsed time, proc counts, lock
-    contention) and leave the rest at zero. *)
+    The simulator fills every field from its virtual-time accounting.
+    Real backends fill what the host can measure — [elapsed], per-proc
+    [busy]/[idle], [lock_spins] (counted by the lock implementations) and
+    [alloc_words] (per-domain minor-heap deltas on the domains backend) —
+    and leave the purely-simulated fields (gc model, bus model) at
+    zero. *)
 
 type proc_stats = {
   mutable busy : float;  (** seconds spent running client code *)

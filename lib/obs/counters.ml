@@ -1,0 +1,47 @@
+type counter = { name : string; cell : int Atomic.t }
+
+type t = { mutable counters : counter list; registry_lock : Mutex.t }
+
+let create () = { counters = []; registry_lock = Mutex.create () }
+
+let counter t name =
+  Mutex.lock t.registry_lock;
+  let c =
+    match List.find_opt (fun c -> c.name = name) t.counters with
+    | Some c -> c
+    | None ->
+        let c = { name; cell = Atomic.make 0 } in
+        t.counters <- c :: t.counters;
+        c
+  in
+  Mutex.unlock t.registry_lock;
+  c
+
+let find t name =
+  Mutex.lock t.registry_lock;
+  let c = List.find_opt (fun c -> c.name = name) t.counters in
+  Mutex.unlock t.registry_lock;
+  c
+
+let name c = c.name
+let incr c = Atomic.incr c.cell
+let add c n = ignore (Atomic.fetch_and_add c.cell n)
+let set c n = Atomic.set c.cell n
+let get c = Atomic.get c.cell
+
+let rec max_gauge c n =
+  let cur = Atomic.get c.cell in
+  if n > cur && not (Atomic.compare_and_set c.cell cur n) then max_gauge c n
+
+let dump t =
+  Mutex.lock t.registry_lock;
+  let cs = t.counters in
+  Mutex.unlock t.registry_lock;
+  List.map (fun c -> (c.name, get c)) cs
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let reset t =
+  Mutex.lock t.registry_lock;
+  let cs = t.counters in
+  Mutex.unlock t.registry_lock;
+  List.iter (fun c -> set c 0) cs

@@ -1,0 +1,36 @@
+(** Named counter/gauge registry.
+
+    Counters are [Atomic] cells, safe for concurrent emitters on the
+    domains backend; lookups take a registry mutex, so clients resolve
+    their handles once at setup and keep them for the hot path.  Unlike
+    events, counters are always on — an increment is one atomic
+    read-modify-write, cheap enough to leave unguarded. *)
+
+type t
+(** A registry; each platform owns one (see [Mp_intf.TELEMETRY]). *)
+
+type counter
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find-or-create by name.  Dotted names by convention:
+    ["sched.forks"], ["lock.spins"], ["sync.blocks"], ... *)
+
+val find : t -> string -> counter option
+val name : counter -> string
+val incr : counter -> unit
+val add : counter -> int -> unit
+
+val set : counter -> int -> unit
+(** Gauge-style assignment. *)
+
+val max_gauge : counter -> int -> unit
+(** Raise the value to [n] if larger (high-watermark gauge); lock-free. *)
+
+val get : counter -> int
+
+val dump : t -> (string * int) list
+(** Sorted by name. *)
+
+val reset : t -> unit

@@ -1,0 +1,125 @@
+type category = Sched | Proc | Lock | Gc | Sync | Select | Cml
+
+let category_name = function
+  | Sched -> "sched"
+  | Proc -> "proc"
+  | Lock -> "lock"
+  | Gc -> "gc"
+  | Sync -> "sync"
+  | Select -> "select"
+  | Cml -> "cml"
+
+type t =
+  | Dispatch of { proc : int; clock : int }
+  | Freed of { proc : int; clock : int }
+  | Acquired of { proc : int; by : int; clock : int }
+  | Gc_start of { clock : int; region_words : int }
+  | Gc_end of { clock : int; duration : int }
+  | Coalesced of { proc : int; clock : int; cycles : int }
+  | Fork of { proc : int; clock : int; thread : int }
+  | Switch of { proc : int; clock : int; thread : int }
+  | Steal of { proc : int; clock : int }
+  | Queue_depth of { proc : int; clock : int; depth : int }
+  | Lock_acquired of { proc : int; clock : int }
+  | Lock_contended of { proc : int; clock : int; spins : int }
+  | Blocked of { proc : int; clock : int; thread : int; on : string }
+  | Wakeup of { proc : int; clock : int; thread : int; on : string }
+
+let clock_of = function
+  | Dispatch { clock; _ }
+  | Freed { clock; _ }
+  | Acquired { clock; _ }
+  | Gc_start { clock; _ }
+  | Gc_end { clock; _ }
+  | Coalesced { clock; _ }
+  | Fork { clock; _ }
+  | Switch { clock; _ }
+  | Steal { clock; _ }
+  | Queue_depth { clock; _ }
+  | Lock_acquired { clock; _ }
+  | Lock_contended { clock; _ }
+  | Blocked { clock; _ }
+  | Wakeup { clock; _ } ->
+      clock
+
+(* Blocked/Wakeup events carry their subsystem in [on]; the category is
+   derived from its dotted prefix so one constructor serves sync, select
+   and CML without three copies of the payload. *)
+let site_category on =
+  if String.length on >= 3 && String.sub on 0 3 = "cml" then Cml
+  else if String.length on >= 6 && String.sub on 0 6 = "select" then Select
+  else Sync
+
+let category_of = function
+  | Dispatch _ | Coalesced _ | Fork _ | Switch _ | Steal _ | Queue_depth _ ->
+      Sched
+  | Freed _ | Acquired _ -> Proc
+  | Gc_start _ | Gc_end _ -> Gc
+  | Lock_acquired _ | Lock_contended _ -> Lock
+  | Blocked { on; _ } | Wakeup { on; _ } -> site_category on
+
+let pp fmt = function
+  | Dispatch { proc; clock } -> Format.fprintf fmt "%10d dispatch p%d" clock proc
+  | Freed { proc; clock } -> Format.fprintf fmt "%10d free     p%d" clock proc
+  | Acquired { proc; by; clock } ->
+      Format.fprintf fmt "%10d acquire  p%d (by p%d)" clock proc by
+  | Gc_start { clock; region_words } ->
+      Format.fprintf fmt "%10d gc-start (region %d words)" clock region_words
+  | Gc_end { clock; duration } ->
+      Format.fprintf fmt "%10d gc-end   (%d cycles)" clock duration
+  | Coalesced { proc; clock; cycles } ->
+      Format.fprintf fmt "%10d coalesce p%d (%d cycles inline)" clock proc
+        cycles
+  | Fork { proc; clock; thread } ->
+      Format.fprintf fmt "%10d fork     p%d t%d" clock proc thread
+  | Switch { proc; clock; thread } ->
+      Format.fprintf fmt "%10d switch   p%d t%d" clock proc thread
+  | Steal { proc; clock } -> Format.fprintf fmt "%10d steal    p%d" clock proc
+  | Queue_depth { proc; clock; depth } ->
+      Format.fprintf fmt "%10d queue    p%d depth=%d" clock proc depth
+  | Lock_acquired { proc; clock } ->
+      Format.fprintf fmt "%10d lock     p%d" clock proc
+  | Lock_contended { proc; clock; spins } ->
+      Format.fprintf fmt "%10d contend  p%d (%d spins)" clock proc spins
+  | Blocked { proc; clock; thread; on } ->
+      Format.fprintf fmt "%10d block    p%d t%d on %s" clock proc thread on
+  | Wakeup { proc; clock; thread; on } ->
+      Format.fprintf fmt "%10d wakeup   p%d t%d on %s" clock proc thread on
+
+let to_json e =
+  let head name =
+    Printf.sprintf "{\"ts\":%d,\"cat\":%S,\"ev\":%S" (clock_of e)
+      (category_name (category_of e))
+      name
+  in
+  match e with
+  | Dispatch { proc; _ } -> Printf.sprintf "%s,\"proc\":%d}" (head "dispatch") proc
+  | Freed { proc; _ } -> Printf.sprintf "%s,\"proc\":%d}" (head "freed") proc
+  | Acquired { proc; by; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"by\":%d}" (head "acquired") proc by
+  | Gc_start { region_words; _ } ->
+      Printf.sprintf "%s,\"region_words\":%d}" (head "gc_start") region_words
+  | Gc_end { duration; _ } ->
+      Printf.sprintf "%s,\"duration\":%d}" (head "gc_end") duration
+  | Coalesced { proc; cycles; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"cycles\":%d}" (head "coalesced") proc
+        cycles
+  | Fork { proc; thread; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"thread\":%d}" (head "fork") proc thread
+  | Switch { proc; thread; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"thread\":%d}" (head "switch") proc thread
+  | Steal { proc; _ } -> Printf.sprintf "%s,\"proc\":%d}" (head "steal") proc
+  | Queue_depth { proc; depth; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"depth\":%d}" (head "queue_depth") proc
+        depth
+  | Lock_acquired { proc; _ } ->
+      Printf.sprintf "%s,\"proc\":%d}" (head "lock_acquired") proc
+  | Lock_contended { proc; spins; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"spins\":%d}" (head "lock_contended")
+        proc spins
+  | Blocked { proc; thread; on; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"thread\":%d,\"on\":%S}" (head "blocked")
+        proc thread on
+  | Wakeup { proc; thread; on; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"thread\":%d,\"on\":%S}" (head "wakeup")
+        proc thread on

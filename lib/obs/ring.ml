@@ -1,0 +1,35 @@
+type 'a t = {
+  ring : 'a option array;
+  mutable next : int; (* ring index of the next write *)
+  mutable total : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Obs.Ring.create";
+  { ring = Array.make capacity None; next = 0; total = 0 }
+
+let capacity t = Array.length t.ring
+
+let record t x =
+  t.ring.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.ring;
+  t.total <- t.total + 1
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.total <- 0
+
+let length t = min t.total (Array.length t.ring)
+let total_recorded t = t.total
+
+let items t =
+  let cap = Array.length t.ring in
+  let n = length t in
+  let start = (t.next - n + cap) mod cap in
+  List.init n (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let iter t f = List.iter f (items t)

@@ -1,0 +1,26 @@
+(** Bounded ring buffer retaining the most recent [capacity] items.
+
+    Allocation-free on the record path (one preallocated slot array; the
+    [Some] boxes are the only per-record cost).  Single-writer: each
+    telemetry stream owns one ring, so concurrent emitters never share a
+    ring (see {!Telemetry}). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : 'a t -> int
+val record : 'a t -> 'a -> unit
+val clear : 'a t -> unit
+
+val items : 'a t -> 'a list
+(** Oldest first; at most [capacity] most recent items. *)
+
+val iter : 'a t -> ('a -> unit) -> unit
+
+val length : 'a t -> int
+(** Items currently retained. *)
+
+val total_recorded : 'a t -> int
+(** Items recorded since the last {!clear}, including overwritten ones. *)

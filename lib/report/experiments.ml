@@ -110,6 +110,19 @@ let sequent_cache : sample list option ref = ref None
 let sgi_cache : sample list option ref = ref None
 let seq_base_cache : (string * int, float) Hashtbl.t = Hashtbl.create 16
 
+(* Run [f] with the Sequent platform's telemetry streaming to [path] as
+   JSONL, one event per line; flushes and detaches on the way out.  The
+   trace spans every category the platform emits (scheduler, proc, lock,
+   GC, and any client-layer sync events). *)
+let trace_sequent path f =
+  let oc = open_out path in
+  Sequent.P.Telemetry.attach_sink (Obs.Sink.jsonl oc);
+  Fun.protect
+    ~finally:(fun () ->
+      Sequent.P.Telemetry.disable ();
+      close_out oc)
+    f
+
 let sequent_sweep ?plist () =
   match (!sequent_cache, plist) with
   | Some s, None -> s

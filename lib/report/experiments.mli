@@ -31,6 +31,11 @@ val sequent_sweep : ?plist:int list -> unit -> sample list
 val sgi_sweep : ?plist:int list -> unit -> sample list
 (** Sweep on the 8-processor SGI model (cached). *)
 
+val trace_sequent : string -> (unit -> 'a) -> 'a
+(** [trace_sequent path f] runs [f] with the Sequent platform's telemetry
+    streaming to [path] as JSONL, one event per line; flushes and detaches
+    the sink on the way out (even on exceptions). *)
+
 val speedup : sample list -> bench:string -> procs:int -> float
 (** Self-relative speedup vs the 1-proc sample of the same benchmark. *)
 

@@ -74,14 +74,33 @@ struct
   let max_clock = ref 0
   let sched_decisions_ct = ref 0
   let coalesced_ct = ref 0
+  let lock_acquires_ct = ref 0
   let susp_at_start = ref 0
   let escaped : exn option ref = ref None
   let poll_hook = ref (fun () -> ())
   let running = ref false
   let trace : Sim_trace.t option ref = ref None
 
+  module Telemetry = Mp_intf.Telemetry_of (struct
+    (* Single stream: the simulator multiplexes every proc over one domain,
+       so emission is already serialized.  Timestamps are the current
+       proc's virtual clock, keeping traces deterministic. *)
+    let handle =
+      Obs.Telemetry.create
+        ~stream_of:(fun () -> 0)
+        ~now_ts:(fun () -> (cur ()).clock)
+        ()
+  end)
+
+  (* Events flow both to the legacy [Machine.enable_trace] ring and to the
+     platform's telemetry capability; construction at every emit site is
+     guarded by [tracing] so a quiet run allocates no events, charges no
+     virtual time and takes no extra suspensions. *)
+  let tracing () = !trace <> None || Telemetry.enabled ()
+
   let trace_event e =
-    match !trace with Some t -> Sim_trace.record t e | None -> ()
+    (match !trace with Some t -> Sim_trace.record t e | None -> ());
+    Telemetry.emit e
 
   let observe_clock n = if n > !max_clock then max_clock := n
 
@@ -107,7 +126,7 @@ struct
      belong to the next dispatch. *)
   let flush_run_ahead p =
     if p.ran_ahead > 0 then begin
-      if !trace <> None then
+      if tracing () then
         trace_event
           (Sim_trace.Coalesced
              { proc = p.id; clock = p.clock; cycles = p.ran_ahead });
@@ -301,7 +320,9 @@ struct
       + int_of_float (config.gc_cycles_per_word *. float_of_int copied /. par)
     in
     let finish = gc_start + dur in
-    trace_event (Sim_trace.Gc_start { clock = gc_start; region_words = gc_started_region });
+    if tracing () then
+      trace_event
+        (Sim_trace.Gc_start { clock = gc_start; region_words = gc_started_region });
     (* Release before clearing gc_pending so [set_ready]'s heap pushes see a
        consistent world; clocks all equal [finish], so dispatch order among
        the released procs is by id, as with the scan. *)
@@ -315,7 +336,8 @@ struct
         | Free | Ready _ | Current -> ())
       procs;
     observe_clock finish;
-    trace_event (Sim_trace.Gc_end { clock = finish; duration = dur });
+    if tracing () then
+      trace_event (Sim_trace.Gc_end { clock = finish; duration = dur });
     gc_cycles_total := !gc_cycles_total + dur;
     incr gc_count;
     region_used := 0;
@@ -366,10 +388,10 @@ struct
           incr sched_decisions_ct;
           p.state <- Current;
           current := p.id;
-          (if !trace <> None then
+          (if tracing () then
              trace_event (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
           interp p a;
-          (if !trace <> None && p.state = Free then
+          (if tracing () && p.state = Free then
              trace_event (Sim_trace.Freed { proc = p.id; clock = p.clock }));
           loop ()
         end
@@ -408,8 +430,9 @@ struct
                 q.idle <- q.idle + (start - q.clock);
                 q.clock <- start;
                 set_ready q (Engine.Resume (cont, ()));
-                trace_event
-                  (Sim_trace.Acquired { proc = q.id; by = p.id; clock = p.clock });
+                if tracing () then
+                  trace_event
+                    (Sim_trace.Acquired { proc = q.id; by = p.id; clock = p.clock });
                 set_ready p (Engine.Resume (c, true));
                 A_yield
             | None ->
@@ -465,6 +488,10 @@ struct
       end
       else begin
         l.held <- true;
+        incr lock_acquires_ct;
+        (if tracing () then
+           let q = cur () in
+           trace_event (Sim_trace.Lock_acquired { proc = q.id; clock = q.clock }));
         true
       end
 
@@ -483,7 +510,12 @@ struct
           + (((!current * config.spin_jitter_proc)
              + (!attempt * config.spin_jitter_attempt))
             mod config.spin_jitter_mod))
-      done
+      done;
+      if !attempt > 0 && tracing () then
+        let q = cur () in
+        trace_event
+          (Sim_trace.Lock_contended
+             { proc = q.id; clock = q.clock; spins = !attempt })
 
     let unlock l =
       let p = cur () in
@@ -559,9 +591,24 @@ struct
     max_clock := 0;
     sched_decisions_ct := 0;
     coalesced_ct := 0;
+    lock_acquires_ct := 0;
     susp_at_start := Engine.suspensions ();
     escaped := None;
     poll_hook := (fun () -> ())
+
+  (* Publish the machine counters through the telemetry registry once per
+     run — after the loop, so nothing is charged on the simulated path. *)
+  let fold_counters () =
+    let set name v = Obs.Counters.set (Telemetry.counter name) v in
+    set "sim.makespan_cycles" !max_clock;
+    set "sim.sched_decisions" !sched_decisions_ct;
+    set "sim.coalesced_charges" !coalesced_ct;
+    set "gc.collections" !gc_count;
+    set "gc.cycles" !gc_cycles_total;
+    set "bus.bytes" !bus_total_bytes;
+    set "bus.busy_cycles" !bus_busy;
+    set "lock.acquires" !lock_acquires_ct;
+    set "lock.spins" (Array.fold_left (fun acc p -> acc + p.spins) 0 procs)
 
   let run f =
     if !running then invalid_arg "Mp_sim.run: already running";
@@ -571,7 +618,9 @@ struct
     set_ready procs.(0) (Engine.Start (fun () -> result := Some (f ())));
     current := 0;
     Fun.protect
-      ~finally:(fun () -> running := false)
+      ~finally:(fun () ->
+        running := false;
+        fold_counters ())
       (fun () ->
         loop ();
         match (!result, !escaped) with

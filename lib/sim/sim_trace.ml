@@ -1,64 +1,29 @@
-type event =
+type event = Obs.Event.t =
   | Dispatch of { proc : int; clock : int }
   | Freed of { proc : int; clock : int }
   | Acquired of { proc : int; by : int; clock : int }
   | Gc_start of { clock : int; region_words : int }
   | Gc_end of { clock : int; duration : int }
   | Coalesced of { proc : int; clock : int; cycles : int }
+  | Fork of { proc : int; clock : int; thread : int }
+  | Switch of { proc : int; clock : int; thread : int }
+  | Steal of { proc : int; clock : int }
+  | Queue_depth of { proc : int; clock : int; depth : int }
+  | Lock_acquired of { proc : int; clock : int }
+  | Lock_contended of { proc : int; clock : int; spins : int }
+  | Blocked of { proc : int; clock : int; thread : int; on : string }
+  | Wakeup of { proc : int; clock : int; thread : int; on : string }
 
-type t = {
-  ring : event option array;
-  mutable next : int; (* ring index of the next write *)
-  mutable total : int;
-}
+type t = Obs.Event.t Obs.Ring.t
 
-let create ~capacity =
-  if capacity <= 0 then invalid_arg "Sim_trace.create";
-  { ring = Array.make capacity None; next = 0; total = 0 }
-
-let record t e =
-  t.ring.(t.next) <- Some e;
-  t.next <- (t.next + 1) mod Array.length t.ring;
-  t.total <- t.total + 1
-
-let clear t =
-  Array.fill t.ring 0 (Array.length t.ring) None;
-  t.next <- 0;
-  t.total <- 0
-
-let length t = min t.total (Array.length t.ring)
-let total_recorded t = t.total
-
-let events t =
-  let cap = Array.length t.ring in
-  let n = length t in
-  let start = (t.next - n + cap) mod cap in
-  List.init n (fun i ->
-      match t.ring.((start + i) mod cap) with
-      | Some e -> e
-      | None -> assert false)
-
-let clock_of = function
-  | Dispatch { clock; _ }
-  | Freed { clock; _ }
-  | Acquired { clock; _ }
-  | Gc_start { clock; _ }
-  | Gc_end { clock; _ }
-  | Coalesced { clock; _ } ->
-      clock
-
-let pp_event fmt = function
-  | Dispatch { proc; clock } -> Format.fprintf fmt "%10d dispatch p%d" clock proc
-  | Freed { proc; clock } -> Format.fprintf fmt "%10d free     p%d" clock proc
-  | Acquired { proc; by; clock } ->
-      Format.fprintf fmt "%10d acquire  p%d (by p%d)" clock proc by
-  | Gc_start { clock; region_words } ->
-      Format.fprintf fmt "%10d gc-start (region %d words)" clock region_words
-  | Gc_end { clock; duration } ->
-      Format.fprintf fmt "%10d gc-end   (%d cycles)" clock duration
-  | Coalesced { proc; clock; cycles } ->
-      Format.fprintf fmt "%10d coalesce p%d (%d cycles inline)" clock proc
-        cycles
+let create ~capacity = Obs.Ring.create ~capacity
+let record = Obs.Ring.record
+let clear = Obs.Ring.clear
+let length = Obs.Ring.length
+let total_recorded = Obs.Ring.total_recorded
+let events = Obs.Ring.items
+let clock_of = Obs.Event.clock_of
+let pp_event = Obs.Event.pp
 
 let pp fmt t =
   List.iter (fun e -> Format.fprintf fmt "%a@." pp_event e) (events t)

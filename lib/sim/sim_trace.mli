@@ -1,12 +1,16 @@
 (** Bounded event trace for the simulated multiprocessor.
 
-    A fixed-capacity ring of timestamped events (proc dispatches, frees,
-    collections, proc acquisition) recorded by {!Mp_sim} when enabled.
+    Now a thin compatibility layer over {!Obs}: the event type is
+    {!Obs.Event.t} (re-exported so existing matches on [Sim_trace.Dispatch]
+    etc. keep compiling) and the trace itself is an {!Obs.Ring.t}, the same
+    structure behind the platform's [Telemetry] streams.  {!Mp_sim}'s
+    [Machine.enable_trace] records into it via the telemetry capability.
+
     Deterministic like everything else in the simulator; used by tests and
     invaluable when a client deadlocks or livelocks (see the
     MP_SIM_DEBUG_ITERS watchdog it complements). *)
 
-type event =
+type event = Obs.Event.t =
   | Dispatch of { proc : int; clock : int }
       (** the scheduler handed the proc to its pending action *)
   | Freed of { proc : int; clock : int }  (** the proc was released *)
@@ -18,8 +22,16 @@ type event =
           the proc's last dispatch, recorded when it finally suspends at
           [clock].  One event summarizes what would otherwise have been a
           string of dispatches. *)
+  | Fork of { proc : int; clock : int; thread : int }
+  | Switch of { proc : int; clock : int; thread : int }
+  | Steal of { proc : int; clock : int }
+  | Queue_depth of { proc : int; clock : int; depth : int }
+  | Lock_acquired of { proc : int; clock : int }
+  | Lock_contended of { proc : int; clock : int; spins : int }
+  | Blocked of { proc : int; clock : int; thread : int; on : string }
+  | Wakeup of { proc : int; clock : int; thread : int; on : string }
 
-type t
+type t = Obs.Event.t Obs.Ring.t
 
 val create : capacity:int -> t
 val record : t -> event -> unit
@@ -37,4 +49,7 @@ val total_recorded : t -> int
 val clock_of : event -> int
 
 val pp_event : Format.formatter -> event -> unit
+(** Stable rendering for the original six simulator events; delegates to
+    {!Obs.Event.pp}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -2,6 +2,42 @@ open Mp
 
 module Make (P : Mp.Mp_intf.PLATFORM_INT) (S : Mpthreads.Thread_intf.SCHED) =
 struct
+  (* Telemetry: one Blocked/Wakeup event per park/unpark, tagged with the
+     construct that parked the thread.  Counters total them even while
+     event emission is off; both are host-side only, so they never perturb
+     virtual time.  Emission sites sit after the construct's spin lock is
+     released. *)
+  let c_blocks = P.Telemetry.counter "sync.blocks"
+  let c_wakeups = P.Telemetry.counter "sync.wakeups"
+
+  let note_block on tid =
+    Obs.Counters.incr c_blocks;
+    if P.Telemetry.enabled () then
+      P.Telemetry.emit
+        (Obs.Event.Blocked
+           {
+             proc = max 0 (P.Proc.self ());
+             clock = P.Telemetry.now_ts ();
+             thread = tid;
+             on;
+           })
+
+  let note_wakeup on tid =
+    Obs.Counters.incr c_wakeups;
+    if P.Telemetry.enabled () then
+      P.Telemetry.emit
+        (Obs.Event.Wakeup
+           {
+             proc = max 0 (P.Proc.self ());
+             clock = P.Telemetry.now_ts ();
+             thread = tid;
+             on;
+           })
+
+  let wake on ((_, tid) as w) =
+    note_wakeup on tid;
+    S.reschedule w
+
   module Ivar = struct
     type 'a t = {
       spin : P.Lock.mutex_lock;
@@ -24,7 +60,11 @@ struct
           let readers = t.readers in
           t.readers <- [];
           P.Lock.unlock t.spin;
-          List.iter (fun (k, tid) -> S.reschedule_thread (k, v, tid)) readers
+          List.iter
+            (fun (k, tid) ->
+              note_wakeup "sync.ivar" tid;
+              S.reschedule_thread (k, v, tid))
+            readers
 
     let read t =
       Engine.callcc (fun k ->
@@ -34,8 +74,10 @@ struct
               P.Lock.unlock t.spin;
               Engine.throw k v
           | None ->
-              t.readers <- (k, S.id ()) :: t.readers;
+              let tid = S.id () in
+              t.readers <- (k, tid) :: t.readers;
               P.Lock.unlock t.spin;
+              note_block "sync.ivar" tid;
               S.dispatch ())
 
     let poll t =
@@ -68,6 +110,7 @@ struct
           match Queues.Fifo_queue.deq_opt t.takers with
           | Some (taker, tid) ->
               P.Lock.unlock t.spin;
+              note_wakeup "sync.mvar" tid;
               S.reschedule_thread (taker, v, tid);
               Engine.throw k ()
           | None ->
@@ -77,8 +120,10 @@ struct
                 Engine.throw k ()
               end
               else begin
-                Queues.Fifo_queue.enq t.putters (v, (k, S.id ()));
+                let tid = S.id () in
+                Queues.Fifo_queue.enq t.putters (v, (k, tid));
                 P.Lock.unlock t.spin;
+                note_block "sync.mvar" tid;
                 S.dispatch ()
               end)
 
@@ -92,14 +137,16 @@ struct
               | Some (pv, putter) ->
                   t.value <- Some pv;
                   P.Lock.unlock t.spin;
-                  S.reschedule putter
+                  wake "sync.mvar" putter
               | None ->
                   t.value <- None;
                   P.Lock.unlock t.spin);
               Engine.throw k v
           | None ->
-              Queues.Fifo_queue.enq t.takers (k, S.id ());
+              let tid = S.id () in
+              Queues.Fifo_queue.enq t.takers (k, tid);
               P.Lock.unlock t.spin;
+              note_block "sync.mvar" tid;
               S.dispatch ())
 
     let try_take t =
@@ -110,7 +157,7 @@ struct
           | Some (pv, putter) ->
               t.value <- Some pv;
               P.Lock.unlock t.spin;
-              S.reschedule putter
+              wake "sync.mvar" putter
           | None ->
               t.value <- None;
               P.Lock.unlock t.spin);
@@ -144,8 +191,10 @@ struct
             Engine.throw k ()
           end
           else begin
-            Queues.Fifo_queue.enq t.waiters (k, S.id ());
+            let tid = S.id () in
+            Queues.Fifo_queue.enq t.waiters (k, tid);
             P.Lock.unlock t.spin;
+            note_block "sync.semaphore" tid;
             S.dispatch ()
           end)
 
@@ -162,7 +211,7 @@ struct
       | Some w ->
           (* Hand the permit directly to the next waiter. *)
           P.Lock.unlock t.spin;
-          S.reschedule w
+          wake "sync.semaphore" w
       | None ->
           t.count <- t.count + 1;
           P.Lock.unlock t.spin
@@ -203,8 +252,10 @@ struct
             Engine.throw k ()
           end
           else begin
-            Queues.Fifo_queue.enq t.wait_readers (k, S.id ());
+            let tid = S.id () in
+            Queues.Fifo_queue.enq t.wait_readers (k, tid);
             P.Lock.unlock t.spin;
+            note_block "sync.rwlock" tid;
             S.dispatch ()
           end)
 
@@ -216,7 +267,7 @@ struct
             t.waiting_writers <- t.waiting_writers - 1;
             t.writing <- true;
             P.Lock.unlock t.spin;
-            S.reschedule w
+            wake "sync.rwlock" w
         | None ->
             let rec wake acc =
               match Queues.Fifo_queue.deq_opt t.wait_readers with
@@ -227,7 +278,10 @@ struct
             in
             let ws = wake [] in
             P.Lock.unlock t.spin;
-            List.iter S.reschedule ws
+            List.iter (fun ((_, tid) as w) ->
+                note_wakeup "sync.rwlock" tid;
+                S.reschedule w)
+              ws
       else P.Lock.unlock t.spin
 
     let read_unlock t =
@@ -250,9 +304,11 @@ struct
             Engine.throw k ()
           end
           else begin
+            let tid = S.id () in
             t.waiting_writers <- t.waiting_writers + 1;
-            Queues.Fifo_queue.enq t.wait_writers (k, S.id ());
+            Queues.Fifo_queue.enq t.wait_writers (k, tid);
             P.Lock.unlock t.spin;
+            note_block "sync.rwlock" tid;
             S.dispatch ()
           end)
 
@@ -310,12 +366,14 @@ struct
             t.waiters <- [];
             t.arrived <- 0;
             P.Lock.unlock t.spin;
-            List.iter S.reschedule ws;
+            List.iter (wake "sync.barrier") ws;
             Engine.throw k index
           end
           else begin
-            t.waiters <- (Kont_util.unit_cont_of k index, S.id ()) :: t.waiters;
+            let tid = S.id () in
+            t.waiters <- (Kont_util.unit_cont_of k index, tid) :: t.waiters;
             P.Lock.unlock t.spin;
+            note_block "sync.barrier" tid;
             S.dispatch ()
           end)
   end
@@ -361,7 +419,7 @@ struct
       let ws = if t.count = 0 then t.waiters else [] in
       if t.count = 0 then t.waiters <- [];
       P.Lock.unlock t.spin;
-      List.iter S.reschedule ws
+      List.iter (wake "sync.countdown") ws
 
     let await t =
       Engine.callcc (fun k ->
@@ -371,8 +429,10 @@ struct
             Engine.throw k ()
           end
           else begin
-            t.waiters <- (k, S.id ()) :: t.waiters;
+            let tid = S.id () in
+            t.waiters <- (k, tid) :: t.waiters;
             P.Lock.unlock t.spin;
+            note_block "sync.countdown" tid;
             S.dispatch ()
           end)
 

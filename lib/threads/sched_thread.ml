@@ -68,6 +68,22 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
 
   let id () = P.Proc.get_datum ()
 
+  (* Telemetry: dispatch/steal events are emitted live (guarded, so the
+     quiet path costs one boolean load); fork/switch/steal totals are
+     folded into the counter registry at the end of [with_pool], keeping
+     the hot paths free of extra atomics. *)
+  let c_forks = P.Telemetry.counter "sched.forks"
+  let c_switches = P.Telemetry.counter "sched.switches"
+  let c_steals = P.Telemetry.counter "sched.steals"
+
+  (* Called after a successful take when telemetry is on: a steal shows up
+     as a bump of the queue's steal counter across the take. *)
+  let note_run proc steals0 tid =
+    let ts = P.Telemetry.now_ts () in
+    if MQ.steals !rq > steals0 then
+      P.Telemetry.emit (Obs.Event.Steal { proc; clock = ts });
+    P.Telemetry.emit (Obs.Event.Switch { proc; clock = ts; thread = tid })
+
   let mark_switch proc =
     Atomic.incr switch_count;
     let arr = !last_switch in
@@ -76,14 +92,18 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   let rec dispatch () =
     let proc = P.Proc.self () in
     mark_switch proc;
+    let tel = P.Telemetry.enabled () in
+    let steals0 = if tel then MQ.steals !rq else 0 in
     match
       if !central then MQ.take_local !rq ~proc:0 else MQ.take !rq ~proc
     with
     | Some (Thunk (f, tid)) ->
+        if tel then note_run proc steals0 tid;
         P.Proc.set_datum tid;
         (try f () with e -> record_error e);
         dispatch ()
     | Some (Cont (k, v, tid)) ->
+        if tel then note_run proc steals0 tid;
         P.Proc.set_datum tid;
         Engine.throw k v
     | None ->
@@ -103,7 +123,16 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   let fork child =
     let tid = Atomic.fetch_and_add next_id 1 in
     if !central then MQ.push !rq ~proc:0 (Thunk (child, tid))
-    else MQ.push_global !rq (Thunk (child, tid))
+    else MQ.push_global !rq (Thunk (child, tid));
+    if P.Telemetry.enabled () then begin
+      let proc = max 0 (P.Proc.self ()) in
+      let ts = P.Telemetry.now_ts () in
+      P.Telemetry.emit (Obs.Event.Fork { proc; clock = ts; thread = tid });
+      (* Sample run-queue pressure where it changes: at thread creation. *)
+      P.Telemetry.emit
+        (Obs.Event.Queue_depth
+           { proc; clock = ts; depth = MQ.total_length !rq })
+    end
 
   let yield () =
     Engine.callcc (fun cont ->
@@ -159,6 +188,9 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     finished := true;
     active := false;
     P.Work.set_poll_hook (fun () -> ());
+    Obs.Counters.set c_forks (Atomic.get next_id - 1);
+    Obs.Counters.set c_switches (Atomic.get switch_count);
+    Obs.Counters.set c_steals (MQ.steals !rq);
     match (result, Atomic.get thread_error) with
     | Ok v, None -> v
     | Ok _, Some e -> raise e

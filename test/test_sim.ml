@@ -416,6 +416,26 @@ let golden_case bench rows () =
       check (tag "bus bytes") bus (G.Machine.bus_bytes ()))
     rows
 
+(* Telemetry must be pure observation: with event recording enabled the
+   virtual-time results stay bit-identical to the golden table above, and
+   the stream actually captures scheduler/lock activity. *)
+let test_golden_telemetry_on () =
+  G.Telemetry.enable_memory ~capacity:8192 ();
+  Fun.protect
+    ~finally:(fun () -> G.Telemetry.disable ())
+    (fun () ->
+      List.iter (fun (bench, rows) -> golden_case bench rows ()) golden;
+      let evs = G.Telemetry.events () in
+      checkb "telemetry captured events" true (List.length evs > 0);
+      checkb "scheduler events present" true
+        (List.exists
+           (fun e -> Obs.Event.category_of e = Obs.Event.Sched)
+           evs);
+      checkb "lock events present" true
+        (List.exists (fun e -> Obs.Event.category_of e = Obs.Event.Lock) evs));
+  (* and once disabled, the goldens still hold on the same instance *)
+  List.iter (fun (bench, rows) -> golden_case bench rows ()) golden
+
 (* Cross-check the oracle: the run-ahead scheduler and the always-suspend
    scheduler agree cycle-for-cycle (the goldens then pin both to the seed). *)
 let test_run_ahead_equivalence () =
@@ -574,6 +594,11 @@ let () =
           (fun (bench, rows) ->
             Alcotest.test_case bench `Quick (golden_case bench rows))
           golden );
+      ( "telemetry",
+        [
+          Alcotest.test_case "goldens bit-identical with telemetry on" `Quick
+            test_golden_telemetry_on;
+        ] );
       ( "run-ahead",
         [
           Alcotest.test_case "equivalent to always-suspend" `Quick
