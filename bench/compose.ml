@@ -1,0 +1,28 @@
+(* Scratch diagnostic: suspension composition per workload.  Not installed. *)
+module S =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:16 ()
+    end)
+    ()
+
+module B = Workloads.Bench_suite.Make (S)
+
+let () =
+  List.iter
+    (fun bench ->
+      List.iter
+        (fun procs ->
+          ignore (B.run_named bench ~procs);
+          let c name = Obs.Counters.get (S.Telemetry.counter name) in
+          Printf.printf
+            "%-9s @%-2d susp=%6d parks=%5d polls=%6d spins=%6d acquires=%6d \
+             decisions=%6d coalesced=%6d\n"
+            bench procs
+            (S.Machine.suspensions ())
+            (S.Machine.idle_parks ())
+            (S.Machine.idle_polls ())
+            (c "lock.spins") (c "lock.acquires")
+            (S.Machine.sched_decisions ())
+            (S.Machine.coalesced_charges ()))
+        [ 4; 16 ])
+    B.names

@@ -280,55 +280,68 @@ let print_ablations () =
    comparison the paper cites for spin-lock alternatives, run with charged
    primitives on the Sequent model. *)
 
-module CP = Locks.Charged_prims.Make (Seq16) (Locks.Charged_prims.Default_costs)
-module SSeq = Mpthreads.Sched_thread.Make (Seq16)
+(* One lock-comparison cell per algorithm: a private machine, charged
+   primitives and thread package per cell, so the seven algorithm sweeps
+   can fan across host domains.  Per-cell instantiation leaves the
+   contended runs' virtual time unchanged (every run starts from a reset
+   machine either way). *)
+let lock_scaling_names =
+  [ "tas"; "ttas"; "backoff"; "ticket"; "anderson"; "clh"; "mcs" ]
 
-let print_lock_scaling () =
-  Report.Render.section fmt
-    "Lock scaling under contention (charged primitives, simulated Sequent; \
-     Anderson 1990, the paper's spin-lock reference)";
-  let contend (module L : Locks.Lock_intf.LOCK_EXT) procs =
-    Seq16.run (fun () ->
-        SSeq.with_pool ~procs (fun () ->
+let lock_scaling_cell name =
+  let module S =
+    Sim.Mp_sim.Int (struct
+        let config = Sim.Sim_config.sequent ~procs:16 ()
+      end)
+      ()
+  in
+  let module CP = Locks.Charged_prims.Make (S) (Locks.Charged_prims.Default_costs)
+  in
+  let module SS = Mpthreads.Sched_thread.Make (S) in
+  let (module L : Locks.Lock_intf.LOCK_EXT) =
+    match name with
+    | "tas" -> (module Locks.Tas_lock.Make (CP))
+    | "ttas" -> (module Locks.Ttas_lock.Make (CP))
+    | "backoff" -> (module Locks.Backoff_lock.Make (CP))
+    | "ticket" -> (module Locks.Ticket_lock.Make (CP))
+    | "anderson" -> (module Locks.Anderson_lock.Make (CP))
+    | "clh" -> (module Locks.Clh_lock.Make (CP))
+    | "mcs" -> (module Locks.Mcs_lock.Make (CP))
+    | _ -> invalid_arg "lock_scaling_cell"
+  in
+  let contend procs =
+    S.run (fun () ->
+        SS.with_pool ~procs (fun () ->
             let l = L.mutex_lock () in
-            SSeq.par_iter ~chunks:procs (procs * 20) (fun _ ->
+            SS.par_iter ~chunks:procs (procs * 20) (fun _ ->
                 L.lock l;
                 (* an allocating critical section, so probe bus traffic
                    interferes with the holder *)
-                Seq16.Work.step ~instrs:1_000 ~alloc_words:500 ();
+                S.Work.step ~instrs:1_000 ~alloc_words:500 ();
                 L.unlock l);
             ()));
-    let st = Seq16.stats () in
+    let st = S.stats () in
     (* (time per critical section in us, total bus traffic in KB) *)
     ( st.Mp.Stats.elapsed /. float_of_int (procs * 20) *. 1.0e6,
       st.Mp.Stats.bus_bytes / 1024 )
   in
-  let algorithms : (string * (module Locks.Lock_intf.LOCK_EXT)) list =
-    [
-      ("tas", (module Locks.Tas_lock.Make (CP)));
-      ("ttas", (module Locks.Ttas_lock.Make (CP)));
-      ("backoff", (module Locks.Backoff_lock.Make (CP)));
-      ("ticket", (module Locks.Ticket_lock.Make (CP)));
-      ("anderson", (module Locks.Anderson_lock.Make (CP)));
-      ("clh", (module Locks.Clh_lock.Make (CP)));
-      ("mcs", (module Locks.Mcs_lock.Make (CP)));
-    ]
-  in
+  let t1, _ = contend 1 in
+  let t16, kb16 = contend 16 in
+  [
+    name;
+    Printf.sprintf "%.0f" t1;
+    Printf.sprintf "%.0f" t16;
+    string_of_int kb16;
+  ]
+
+let print_lock_scaling ~jobs () =
+  Report.Render.section fmt
+    "Lock scaling under contention (charged primitives, simulated Sequent; \
+     Anderson 1990, the paper's spin-lock reference)";
   Report.Render.table fmt
     ~header:
       [ "algorithm"; "us/cs @1"; "us/cs @16"; "bus KB @16 (probe traffic)" ]
-    ~rows:
-      (List.map
-         (fun (name, m) ->
-           let t1, _ = contend m 1 in
-           let t16, kb16 = contend m 16 in
-           [
-             name;
-             Printf.sprintf "%.0f" t1;
-             Printf.sprintf "%.0f" t16;
-             string_of_int kb16;
-           ])
-         algorithms);
+    ~rows:(Exec.Job_pool.map ~jobs lock_scaling_cell lock_scaling_names);
   Format.fprintf fmt
     "@.(times are dominated by the serialized critical sections; the probe \
      mechanism shows in the bus column: every TAS probe is an RMW bus \
@@ -426,25 +439,40 @@ type sim_core_row = {
   sc_makespan : int;
 }
 
-let sim_core_rows () =
-  List.concat_map
-    (fun bench ->
-      List.map
-        (fun procs ->
-          let t0 = Sys.time () in
-          ignore (BSeq.run_named bench ~procs);
-          {
-            sc_bench = bench;
-            sc_procs = procs;
-            sc_host = Sys.time () -. t0;
-            sc_decisions = Seq16.Machine.sched_decisions ();
-            sc_susp = Seq16.Machine.suspensions ();
-            sc_coalesced = Seq16.Machine.coalesced_charges ();
-            sc_heap_ops = Seq16.Machine.heap_ops ();
-            sc_makespan = Seq16.Machine.makespan_cycles ();
-          })
-        [ 1; 4; 16 ])
-    BSeq.names
+(* One sim-core cell on a private machine instance, so cells can fan
+   across host domains; returns the row plus the instance's counter dump
+   (the JSON keeps the dump of the grid's last cell, which is what the
+   shared-instance driver effectively reported too, since machine
+   counters are overwritten per run). *)
+let sim_core_cell (bench, procs) =
+  let module S =
+    Sim.Mp_sim.Int (struct
+        let config = Sim.Sim_config.sequent ~procs:16 ()
+      end)
+      ()
+  in
+  let module B = Workloads.Bench_suite.Make (S) in
+  let t0 = Sys.time () in
+  ignore (B.run_named bench ~procs);
+  ( {
+      sc_bench = bench;
+      sc_procs = procs;
+      sc_host = Sys.time () -. t0;
+      sc_decisions = S.Machine.sched_decisions ();
+      sc_susp = S.Machine.suspensions ();
+      sc_coalesced = S.Machine.coalesced_charges ();
+      sc_heap_ops = S.Machine.heap_ops ();
+      sc_makespan = S.Machine.makespan_cycles ();
+    },
+    Obs.Counters.dump S.Telemetry.counters )
+
+let sim_core_rows ~jobs () =
+  let cells =
+    List.concat_map
+      (fun bench -> List.map (fun procs -> (bench, procs)) [ 1; 4; 16 ])
+      BSeq.names
+  in
+  Exec.Job_pool.map ~jobs sim_core_cell cells
 
 let print_sim_core rows =
   Report.Render.section fmt
@@ -474,28 +502,42 @@ let print_sim_core rows =
     (tot (fun r -> r.sc_susp))
     (tot (fun r -> r.sc_coalesced))
 
-let write_sim_json rows path =
+let write_sim_json rows counters path =
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"benchmark\": \"sim-core\",\n  \"machine\": %S,\n"
     Seq16.Machine.config.Sim.Sim_config.name;
   Printf.fprintf oc "  \"workloads\": [\n";
   let n = List.length rows in
+  (* Speedup of each cell vs the same workload's procs=1 makespan. *)
+  let makespan1 bench =
+    match
+      List.find_opt (fun r -> r.sc_bench = bench && r.sc_procs = 1) rows
+    with
+    | Some r -> Some r.sc_makespan
+    | None -> None
+  in
   List.iteri
     (fun i r ->
+      let speedup =
+        match makespan1 r.sc_bench with
+        | Some m1 when r.sc_makespan > 0 ->
+            float_of_int m1 /. float_of_int r.sc_makespan
+        | _ -> nan
+      in
       Printf.fprintf oc
         "    {\"name\": %S, \"procs\": %d, \"host_seconds\": %.6f, \
          \"sched_decisions\": %d, \"suspensions\": %d, \
          \"coalesced_charges\": %d, \"heap_ops\": %d, \"makespan_cycles\": \
-         %d}%s\n"
+         %d, \"speedup\": %.4f}%s\n"
         r.sc_bench r.sc_procs r.sc_host r.sc_decisions r.sc_susp r.sc_coalesced
-        r.sc_heap_ops r.sc_makespan
+        r.sc_heap_ops r.sc_makespan speedup
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
-  (* The platform's telemetry counter registry after the sweep: machine
-     counters from the last run plus cumulative client-layer counters
-     (sched.forks, lock.spins, sync.blocks, ...). *)
-  let counters = Obs.Counters.dump Seq16.Telemetry.counters in
+  (* The counter registry of the sweep's last cell: machine counters from
+     that run plus its client-layer counters (sched.forks, lock.spins,
+     sync.blocks, ...) — the same thing the shared-instance driver
+     reported, and independent of how many domains ran the sweep. *)
   Printf.fprintf oc "  \"counters\": {";
   List.iteri
     (fun i (name, v) ->
@@ -514,32 +556,58 @@ let write_sim_json rows path =
   close_out oc;
   Format.fprintf fmt "@.wrote %s@." path
 
+(* [--jobs N] (or MP_REPRO_JOBS) fans the independent sweep cells —
+   sim-core rows, fig6/SGI grid cells, the lock-algorithm comparison —
+   across N host domains; all printed/written results are identical for
+   every N. *)
+let parse_jobs argv =
+  let explicit = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length argv then
+        explicit := int_of_string_opt argv.(i + 1))
+    argv;
+  Exec.Job_pool.resolve_jobs !explicit
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let json = Array.exists (fun a -> a = "--json") Sys.argv in
+  let jobs = parse_jobs Sys.argv in
   let plist = if quick then Some [ 1; 4; 16 ] else None in
   Format.fprintf fmt
-    "Procs and Locks reproduction -- benchmark harness (%s sweep)@."
-    (if quick then "quick" else "full");
-  let sim_rows = sim_core_rows () in
+    "Procs and Locks reproduction -- benchmark harness (%s sweep, %d job%s)@."
+    (if quick then "quick" else "full")
+    jobs
+    (if jobs = 1 then "" else "s");
+  let sim_cells = sim_core_rows ~jobs () in
+  let sim_rows = List.map fst sim_cells in
+  let last_counters =
+    match List.rev sim_cells with (_, d) :: _ -> d | [] -> []
+  in
   print_sim_core sim_rows;
-  if json then write_sim_json sim_rows "BENCH_sim.json";
+  if json then write_sim_json sim_rows last_counters "BENCH_sim.json";
   run_micro ();
   Report.Experiments.print_lock_latency fmt;
   Report.Experiments.print_portability fmt;
-  let samples = Report.Experiments.sequent_sweep ?plist () in
+  let samples = Report.Experiments.sequent_sweep ?plist ~jobs () in
   Report.Experiments.print_fig6 fmt samples;
   Report.Experiments.print_idle fmt samples;
   Report.Experiments.print_bus fmt samples;
   Report.Experiments.print_gc_ablation fmt samples;
   print_model samples;
   print_ablations ();
-  print_lock_scaling ();
+  print_lock_scaling ~jobs ();
   print_sensitivity ();
   let sgi =
     Report.Experiments.sgi_sweep
       ?plist:(if quick then Some [ 1; 4; 8 ] else None)
-      ()
+      ~jobs ()
   in
   Report.Experiments.print_sgi fmt sgi;
+  (* Host-side parallel-driver telemetry (to stderr: the values — batch
+     and steal counts — legitimately vary with [jobs], so they stay out
+     of the deterministic report stream). *)
+  List.iter
+    (fun (name, v) -> Printf.eprintf "%s=%d\n" name v)
+    (Exec.Job_pool.counters ());
   Format.fprintf fmt "@.done.@."

@@ -7,38 +7,63 @@
    scheduler decisions, host CPU seconds) that changes are allowed — and
    expected — to improve.
 
-   Usage: dune exec bench/sim_golden.exe
+   Usage: dune exec bench/sim_golden.exe [-- --jobs N]
+   --jobs (or MP_REPRO_JOBS) fans the cells across host domains; each cell
+   runs on a private machine instance and lines print in grid order, so the
+   GOLDEN values are identical for every N.
    Paste the GOLDEN lines into the table in test/test_sim.ml when adding a
    workload; never update them to absorb a virtual-time change without
    understanding why the change is correct. *)
 
-module Seq16 =
-  Sim.Mp_sim.Int (struct
-      let config = Sim.Sim_config.sequent ~procs:16 ()
-    end)
-    ()
+let golden_cell (name, procs) =
+  let module Seq16 =
+    Sim.Mp_sim.Int (struct
+        let config = Sim.Sim_config.sequent ~procs:16 ()
+      end)
+      ()
+  in
+  let module B = Workloads.Bench_suite.Make (Seq16) in
+  Mp.Engine.reset_suspensions ();
+  let t0 = Sys.time () in
+  let witness = B.run_named name ~procs in
+  let host = Sys.time () -. t0 in
+  Printf.sprintf
+    "GOLDEN %-8s procs=%-2d makespan=%-12d gc=%-3d bus=%-12d witness=%d \
+     susp=%d decisions=%d host=%.3fs"
+    name procs
+    (Seq16.Machine.makespan_cycles ())
+    (Seq16.Machine.gc_collections ())
+    (Seq16.Machine.bus_bytes ())
+    witness
+    (Mp.Engine.suspensions ())
+    (Seq16.Machine.sched_decisions ())
+    host
 
-module B = Workloads.Bench_suite.Make (Seq16)
+let parse_jobs argv =
+  let explicit = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--jobs" && i + 1 < Array.length argv then
+        explicit := int_of_string_opt argv.(i + 1))
+    argv;
+  Exec.Job_pool.resolve_jobs !explicit
 
 let () =
-  List.iter
-    (fun name ->
-      List.iter
-        (fun procs ->
-          Mp.Engine.reset_suspensions ();
-          let t0 = Sys.time () in
-          let witness = B.run_named name ~procs in
-          let host = Sys.time () -. t0 in
-          Printf.printf
-            "GOLDEN %-8s procs=%-2d makespan=%-12d gc=%-3d bus=%-12d \
-             witness=%d susp=%d decisions=%d host=%.3fs\n%!"
-            name procs
-            (Seq16.Machine.makespan_cycles ())
-            (Seq16.Machine.gc_collections ())
-            (Seq16.Machine.bus_bytes ())
-            witness
-            (Mp.Engine.suspensions ())
-            (Seq16.Machine.sched_decisions ())
-            host)
-        [ 1; 4; 16 ])
-    B.names
+  let jobs = parse_jobs Sys.argv in
+  let names =
+    let module B0 =
+      Workloads.Bench_suite.Make
+        (Sim.Mp_sim.Int
+           (struct
+             let config = Sim.Sim_config.sequent ~procs:1 ()
+           end)
+           ())
+    in
+    B0.names
+  in
+  let cells =
+    List.concat_map
+      (fun name -> List.map (fun procs -> (name, procs)) [ 1; 4; 16 ])
+      names
+  in
+  List.iter print_endline (Exec.Job_pool.map ~jobs golden_cell cells)

@@ -18,6 +18,14 @@ let quick_arg =
   let doc = "Reduced sweep (1,4,16)." in
   Arg.(value & flag & info [ "quick" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Fan the sweep's independent (bench, procs) cells across $(docv) host \
+     domains.  Results are merged in grid order, so all output is \
+     identical for every value.  Defaults to $(b,MP_REPRO_JOBS) or 1."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let trace_arg =
   let doc =
     "Stream telemetry events (scheduler, lock, GC, ...) to $(docv) as JSONL \
@@ -36,44 +44,50 @@ let plist_of quick procs =
   | Some l -> Some l
   | None -> if quick then Some [ 1; 4; 16 ] else None
 
-let sweep quick procs = Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ()
+let sweep quick procs jobs =
+  Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ?jobs ()
 
 let fig6_cmd =
-  let run quick procs trace =
+  let run quick procs jobs trace =
     maybe_trace trace (fun () ->
-        Report.Experiments.print_fig6 fmt (sweep quick procs))
+        Report.Experiments.print_fig6 fmt (sweep quick procs jobs))
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Self-relative speedup curves (Figure 6)")
-    Term.(const run $ quick_arg $ procs_arg $ trace_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ trace_arg)
 
 let idle_cmd =
-  let run quick procs = Report.Experiments.print_idle fmt (sweep quick procs) in
+  let run quick procs jobs =
+    Report.Experiments.print_idle fmt (sweep quick procs jobs)
+  in
   Cmd.v (Cmd.info "idle" ~doc:"Processor idle fractions (E4)")
-    Term.(const run $ quick_arg $ procs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
 
 let bus_cmd =
-  let run quick procs = Report.Experiments.print_bus fmt (sweep quick procs) in
+  let run quick procs jobs =
+    Report.Experiments.print_bus fmt (sweep quick procs jobs)
+  in
   Cmd.v (Cmd.info "bus" ~doc:"Memory-bus traffic and contention (E5)")
-    Term.(const run $ quick_arg $ procs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
 
 let gc_cmd =
-  let run quick procs =
-    Report.Experiments.print_gc_ablation fmt (sweep quick procs)
+  let run quick procs jobs =
+    Report.Experiments.print_gc_ablation fmt (sweep quick procs jobs)
   in
   Cmd.v (Cmd.info "gc" ~doc:"GC ablation (E6)")
-    Term.(const run $ quick_arg $ procs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
 
 let sgi_cmd =
-  let run quick procs =
+  let run quick procs jobs =
     let plist =
       match plist_of quick procs with
       | Some l -> Some l
       | None -> None
     in
-    Report.Experiments.print_sgi fmt (Report.Experiments.sgi_sweep ?plist ())
+    Report.Experiments.print_sgi fmt
+      (Report.Experiments.sgi_sweep ?plist ?jobs ())
   in
   Cmd.v (Cmd.info "sgi" ~doc:"The SGI machine model sweep (E7)")
-    Term.(const run $ quick_arg $ procs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
 
 let locks_cmd =
   let run () = Report.Experiments.print_lock_latency fmt in
@@ -87,11 +101,11 @@ let portability_cmd =
     Term.(const run $ const ())
 
 let all_cmd =
-  let run quick procs trace =
+  let run quick procs jobs trace =
     Report.Experiments.print_lock_latency fmt;
     Report.Experiments.print_portability fmt;
     maybe_trace trace (fun () ->
-        let s = sweep quick procs in
+        let s = sweep quick procs jobs in
         Report.Experiments.print_fig6 fmt s;
         Report.Experiments.print_idle fmt s;
         Report.Experiments.print_bus fmt s;
@@ -99,10 +113,10 @@ let all_cmd =
     Report.Experiments.print_sgi fmt
       (Report.Experiments.sgi_sweep
          ?plist:(if quick then Some [ 1; 4; 8 ] else None)
-         ())
+         ?jobs ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Every evaluation section")
-    Term.(const run $ quick_arg $ procs_arg $ trace_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ trace_arg)
 
 let () =
   let info =

@@ -1,0 +1,39 @@
+(** Domain-parallel job pool for independent simulator runs.
+
+    The sweep drivers (bench sections, fig6 cells, golden generation,
+    lock-comparison sweeps) are embarrassingly parallel: every cell
+    instantiates its own generative [Mp_sim] machine, so cells share no
+    simulator state.  This pool fans such cells across OCaml 5 host
+    domains, distributing work through the repo's own lock-free
+    {!Queues.Ws_deque} (the platform dogfooding itself).
+
+    Determinism: jobs carry their list index and results are merged back
+    by index, so [map ~jobs:n f xs] returns exactly [List.map f xs] for
+    every [n] — output order never depends on domain scheduling.  With
+    [jobs <= 1] (the default) [f] runs inline on the calling domain,
+    byte-identical to the historical sequential drivers. *)
+
+val default_jobs : unit -> int
+(** Parallelism when the caller gives no explicit [--jobs]: the
+    [MP_REPRO_JOBS] environment variable when set to a positive integer,
+    else 1 (sequential). *)
+
+val resolve_jobs : int option -> int
+(** [resolve_jobs explicit] is [explicit] when given (clamped to >= 1),
+    else {!default_jobs}. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] = [List.map f xs], evaluating up to [jobs] elements
+    concurrently on separate domains.  Exceptions propagate: the raise
+    from the lowest-indexed failing job is re-raised on the caller after
+    all domains join.  [f] must not assume it runs on the calling domain
+    when [jobs > 1]; any domain-local state (e.g. the engine's suspension
+    counter) is per-job-correct because a job runs entirely on one
+    domain. *)
+
+val counters : unit -> (string * int) list
+(** Cumulative [exec.*] telemetry for this process, sorted by name:
+    [exec.jobs_run] (jobs executed through the pool, inline or parallel),
+    [exec.parallel_batches] (calls to [map] with [jobs > 1] and >= 2
+    jobs), [exec.domains_spawned], and [exec.steals] (jobs a worker took
+    from the shared deque rather than the submitting domain). *)

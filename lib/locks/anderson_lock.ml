@@ -38,4 +38,6 @@ module Make (P : Lock_intf.PRIMS) = struct
     let my = P.get l.holder_slot in
     P.set l.flags.(my) false;
     P.set l.flags.((my + 1) mod Array.length l.flags) true
+  let locked l f = Lock_intf.locked_default ~lock ~unlock l f
+
 end

@@ -38,4 +38,6 @@ module Make (P : Lock_intf.PRIMS) = struct
     end
 
   let unlock l = P.set (P.get l.holder).busy false
+  let locked l f = Lock_intf.locked_default ~lock ~unlock l f
+
 end

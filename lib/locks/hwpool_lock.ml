@@ -39,4 +39,6 @@ module Make (P : Lock_intf.PRIMS) = struct
     done
 
   let unlock l = with_hw l (fun () -> l.held <- false)
+  let locked l f = Lock_intf.locked_default ~lock ~unlock l f
+
 end

@@ -28,6 +28,19 @@ module type PRIMS = sig
   (** Account one failed acquisition attempt (contention statistics). *)
 end
 
+(** Default [LOCK.locked]: plain acquire/section/release.  The algorithms
+    in this collection have no cheaper fused episode (unlike the simulator's
+    platform lock), so they all delegate here. *)
+let locked_default ~lock ~unlock l f =
+  lock l;
+  match f () with
+  | v ->
+      unlock l;
+      v
+  | exception e ->
+      unlock l;
+      raise e
+
 (** The paper's [LOCK] plus introspection used by tests and benches. *)
 module type LOCK_EXT = sig
   include Mp.Mp_intf.LOCK

@@ -57,4 +57,6 @@ module Make (P : Lock_intf.PRIMS) = struct
           in
           wait_link ()
         end
+  let locked l f = Lock_intf.locked_default ~lock ~unlock l f
+
 end

@@ -12,4 +12,6 @@ module Make (P : Lock_intf.PRIMS) = struct
     done
 
   let unlock l = P.set l false
+  let locked l f = Lock_intf.locked_default ~lock ~unlock l f
+
 end

@@ -16,4 +16,6 @@ module Make (P : Lock_intf.PRIMS) = struct
     done
 
   let unlock l = P.set l.serving (P.get l.serving + 1)
+  let locked l f = Lock_intf.locked_default ~lock ~unlock l f
+
 end

@@ -18,17 +18,19 @@ exception Unhandled_action
 
 (* Host-side instrumentation: every suspension is one effect-handler
    round-trip, the unit of cost the simulator's run-ahead fast path avoids.
-   A plain (racy) counter: an atomic here costs a fenced RMW on the
-   hottest path in the system.  Single-domain backends (the simulator)
-   count exactly; multi-domain backends may undercount under contention,
-   which is fine for a diagnostic. *)
-let suspension_count = ref 0
+   Domain-local (DLS), not atomic: an atomic would cost a fenced RMW on the
+   hottest path in the system, and a shared plain ref would be corrupted by
+   the parallel sweep driver running independent simulator instances on
+   separate domains.  Each domain counts its own suspensions exactly, which
+   is what per-run accounting needs — a simulator run never migrates
+   between domains. *)
+let suspension_key = Domain.DLS.new_key (fun () -> ref 0)
 
-let suspensions () = !suspension_count
-let reset_suspensions () = suspension_count := 0
+let suspensions () = !(Domain.DLS.get suspension_key)
+let reset_suspensions () = Domain.DLS.get suspension_key := 0
 
 let suspend f =
-  incr suspension_count;
+  incr (Domain.DLS.get suspension_key);
   Effect.perform (Suspend f)
 
 let throw c v = suspend (fun _abandoned -> Resume (c, v))

@@ -190,6 +190,16 @@ module Make
              })
 
     let unlock l = Atomic.set l false
+
+    let locked l f =
+      lock l;
+      match f () with
+      | v ->
+          unlock l;
+          v
+      | exception e ->
+          unlock l;
+          raise e
   end
 
   module Work = struct
@@ -201,6 +211,12 @@ module Make
     let poll () = !hook ()
     let set_poll_hook f = hook := f
     let idle () = Domain.cpu_relax ()
+
+    let idle_until ~ready =
+      while not (ready ()) do
+        Domain.cpu_relax ()
+      done
+
     let now () = Unix.gettimeofday ()
   end
 

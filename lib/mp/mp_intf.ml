@@ -87,6 +87,16 @@ module type LOCK = sig
   val unlock : mutex_lock -> unit
   (** Release the lock.  May be called by any proc, not necessarily the one
       that set it. *)
+
+  val locked : mutex_lock -> (unit -> 'a) -> 'a
+  (** [locked l f] runs [f ()] with [l] held and releases it afterwards,
+      even if [f] raises.  Equivalent to [lock l; ...f ()...; unlock l],
+      but a platform may fuse the acquire/section/release into a cheaper
+      episode — the simulator, for instance, runs the whole critical
+      section under one scheduler interaction.  [f] must itself be free of
+      charges and suspensions (no [Work.step]/[charge]/[alloc]/[idle] and
+      no blocking), which is the natural shape for the short
+      pointer-swinging sections the run-queue and thread packages use. *)
 end
 
 (** Virtual-cost charging and safe points.
@@ -123,6 +133,16 @@ module type WORK = sig
 
   val idle : unit -> unit
   (** Pause briefly while waiting for work; accounted as idle time. *)
+
+  val idle_until : ready:(unit -> bool) -> unit
+  (** Pause, accounted as idle time, until [ready ()] holds.  Reference
+      semantics (and the behavior of every real backend): repeatedly
+      {!idle} one quantum, then evaluate [ready]; return as soon as it is
+      true — i.e. equivalent to [let rec go () = idle (); if not (ready ())
+      then go () in go ()].  [ready] must be free of side effects and of
+      charges: the simulator may evaluate it from scheduler context,
+      outside the calling fiber, servicing the per-quantum checks without
+      a suspension per quantum (quiescence-epoch coalescing). *)
 
   val now : unit -> float
   (** Seconds: virtual time on the simulator, wall clock otherwise. *)

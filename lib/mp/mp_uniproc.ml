@@ -59,6 +59,16 @@ struct
         failwith "Mp_uniproc.Lock.lock: deadlock (lock already held on a uniprocessor)"
 
     let unlock l = l.held <- false
+
+    let locked l f =
+      lock l;
+      match f () with
+      | v ->
+          unlock l;
+          v
+      | exception e ->
+          unlock l;
+          raise e
   end
 
   module Work = struct
@@ -70,6 +80,15 @@ struct
     let poll () = !hook ()
     let set_poll_hook f = hook := f
     let idle () = ()
+
+    (* Single proc: if nothing is ready, nothing ever will be — but that is
+       the caller's deadlock, not ours, so spin exactly as the old
+       idle-loop fallback did. *)
+    let idle_until ~ready =
+      while not (ready ()) do
+        idle ()
+      done
+
     let now () = Unix.gettimeofday ()
   end
 

@@ -19,15 +19,9 @@ module Make (L : Mp.Mp_intf.LOCK) = struct
 
   let procs t = Array.length t.slots
 
-  let protected slot f =
-    L.lock slot.lock;
-    match f () with
-    | v ->
-        L.unlock slot.lock;
-        v
-    | exception e ->
-        L.unlock slot.lock;
-        raise e
+  (* Every critical section here is a handful of pointer swings, so the
+     platform may fuse acquire/section/release into one episode. *)
+  let protected slot f = L.locked slot.lock f
 
   let push t ~proc x =
     let slot = t.slots.(proc) in
@@ -67,6 +61,16 @@ module Make (L : Mp.Mp_intf.LOCK) = struct
 
   let take t ~proc =
     match take_local t ~proc with Some _ as x -> x | None -> steal t ~proc
+
+  (* Charge-free emptiness hints over exactly the deques the corresponding
+     take's uncharged failure path peeks: a [false] here implies [take]
+     (resp. [take_local]) would return [None] without touching a lock.
+     Used as the readiness predicate of an idle poller, so these must stay
+     free of locks, charges and writes. *)
+  let looks_nonempty t =
+    Array.exists (fun slot -> not (Deque.is_empty slot.deque)) t.slots
+
+  let looks_nonempty_local t ~proc = not (Deque.is_empty t.slots.(proc).deque)
 
   let total_length t =
     Array.fold_left (fun acc slot -> acc + Deque.length slot.deque) 0 t.slots

@@ -30,6 +30,16 @@ module Make (L : Mp.Mp_intf.LOCK) : sig
   val steal : 'a t -> proc:int -> 'a option
   (** Steal from some other proc's queue only. *)
 
+  val looks_nonempty : 'a t -> bool
+  (** Racy, lock-free hint: [true] iff some deque currently looks
+      non-empty — the same peeks [take]'s all-empty failure path performs.
+      Suitable as an idle poller's readiness predicate: reads only, takes
+      no locks, performs no platform charges. *)
+
+  val looks_nonempty_local : 'a t -> proc:int -> bool
+  (** Like {!looks_nonempty}, restricted to [proc]'s own deque (the peek
+      set of {!take_local}). *)
+
   val total_length : 'a t -> int
   (** Approximate total enqueued items (racy snapshot). *)
 

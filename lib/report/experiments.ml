@@ -68,27 +68,29 @@ struct
       verified = checksum = expected;
     }
 
+  (* One (bench, procs) grid cell; every cell is independent of every
+     other, which is what lets the parallel driver below fan cells across
+     host domains. *)
+  let cell bench procs =
+    if bench = "seq" then begin
+      (* self-relative baseline: the same p copies on one proc *)
+      let copies = procs in
+      let _ = B.seq ~procs:1 ~copies () in
+      let base = sample_of_run "seq" 1 copies in
+      let c = B.seq ~procs ~copies () in
+      let s = sample_of_run "seq" procs c in
+      (* fold the p-copies baseline into the sample list as the
+         elapsed of a pseudo 1-proc run scaled per-proc *)
+      if procs = 1 then base else s
+    end
+    else
+      let c = B.run_named bench ~procs in
+      sample_of_run bench procs c
+
   let run ?(plist = default_procs) () =
     let plist = List.filter (fun p -> p <= M.config.Sim.Sim_config.procs) plist in
     List.concat_map
-      (fun bench ->
-        List.map
-          (fun procs ->
-            if bench = "seq" then begin
-              (* self-relative baseline: the same p copies on one proc *)
-              let copies = procs in
-              let _ = B.seq ~procs:1 ~copies () in
-              let base = sample_of_run "seq" 1 copies in
-              let c = B.seq ~procs ~copies () in
-              let s = sample_of_run "seq" procs c in
-              (* fold the p-copies baseline into the sample list as the
-                 elapsed of a pseudo 1-proc run scaled per-proc *)
-              if procs = 1 then base else s
-            end
-            else
-              let c = B.run_named bench ~procs in
-              sample_of_run bench procs c)
-          plist)
+      (fun bench -> List.map (fun procs -> cell bench procs) plist)
       benches
 
   (* seq's baseline is special (p copies on 1 proc per point), so compute
@@ -98,13 +100,44 @@ struct
     (P.stats ()).Mp.Stats.elapsed
 end
 
+let sequent_config = Sim.Sim_config.sequent ~procs:16 ()
+let sgi_config = Sim.Sim_config.sgi ~procs:8 ()
+
 module Sequent = Sweep (struct
-  let config = Sim.Sim_config.sequent ~procs:16 ()
+  let config = sequent_config
 end) ()
 
 module Sgi = Sweep (struct
-  let config = Sim.Sim_config.sgi ~procs:8 ()
+  let config = sgi_config
 end) ()
+
+(* ------------------------------------------------------------------ *)
+(* Parallel sweep driver.                                              *)
+(*                                                                     *)
+(* Every grid cell instantiates a private, generative [Mp_sim] machine *)
+(* (and its whole client stack), so cells share no simulator state and *)
+(* can run on separate host domains.  [Exec.Job_pool.map] merges the   *)
+(* results back by cell index, so the sample list — and everything     *)
+(* rendered from it — is identical for every [jobs] value; cells hold  *)
+(* no shared RNG (workload seeds are fixed per cell) and each cell's   *)
+(* telemetry lands in its own machine's registry.                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_cell (config : Sim.Sim_config.t) (bench, procs) =
+  let module C =
+    Sweep (struct
+        let config = config
+      end)
+      ()
+  in
+  C.cell bench procs
+
+let grid (config : Sim.Sim_config.t) plist =
+  let plist = List.filter (fun p -> p <= config.Sim.Sim_config.procs) plist in
+  List.concat_map (fun b -> List.map (fun p -> (b, p)) plist) benches
+
+let parallel_sweep config ~jobs plist =
+  Exec.Job_pool.map ~jobs (run_cell config) (grid config plist)
 
 let sequent_cache : sample list option ref = ref None
 let sgi_cache : sample list option ref = ref None
@@ -123,19 +156,32 @@ let trace_sequent path f =
       close_out oc)
     f
 
-let sequent_sweep ?plist () =
-  match (!sequent_cache, plist) with
-  | Some s, None -> s
-  | _ ->
-      let s = Sequent.run ?plist () in
-      if plist = None then sequent_cache := Some s;
-      s
+let sequent_sweep ?plist ?jobs () =
+  let jobs = Exec.Job_pool.resolve_jobs jobs in
+  if Sequent.P.Telemetry.enabled () then
+    (* A trace sink is attached to the shared Sequent machine: run the
+       cells on it, sequentially, so their events stream to the sink. *)
+    Sequent.run ?plist ()
+  else
+    match (!sequent_cache, plist) with
+    | Some s, None -> s
+    | _ ->
+        let s =
+          parallel_sweep sequent_config ~jobs
+            (Option.value plist ~default:default_procs)
+        in
+        if plist = None then sequent_cache := Some s;
+        s
 
-let sgi_sweep ?plist () =
+let sgi_sweep ?plist ?jobs () =
+  let jobs = Exec.Job_pool.resolve_jobs jobs in
   match (!sgi_cache, plist) with
   | Some s, None -> s
   | _ ->
-      let s = Sgi.run ?plist () in
+      let s =
+        parallel_sweep sgi_config ~jobs
+          (Option.value plist ~default:default_procs)
+      in
       if plist = None then sgi_cache := Some s;
       s
 

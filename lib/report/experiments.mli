@@ -25,11 +25,20 @@ type sample = {
 val default_procs : int list
 (** 1, 2, 4, 6, 8, 10, 12, 14, 16 — Figure 6's x axis. *)
 
-val sequent_sweep : ?plist:int list -> unit -> sample list
-(** Full sweep on the 16-processor Sequent model (cached after first call). *)
+val sequent_sweep : ?plist:int list -> ?jobs:int -> unit -> sample list
+(** Full sweep on the 16-processor Sequent model (cached after first call).
 
-val sgi_sweep : ?plist:int list -> unit -> sample list
-(** Sweep on the 8-processor SGI model (cached). *)
+    [jobs] fans the grid's (bench, procs) cells across that many host
+    domains via {!Exec.Job_pool} — every cell runs on a private machine
+    instance and results are merged back in grid order, so the returned
+    samples (and all output rendered from them) are identical for every
+    [jobs] value.  Defaults to [MP_REPRO_JOBS] or 1.  When a trace sink is
+    attached (see {!trace_sequent}) the sweep runs sequentially on the
+    shared traced machine regardless of [jobs]. *)
+
+val sgi_sweep : ?plist:int list -> ?jobs:int -> unit -> sample list
+(** Sweep on the 8-processor SGI model (cached); [jobs] as in
+    {!sequent_sweep}. *)
 
 val trace_sequent : string -> (unit -> 'a) -> 'a
 (** [trace_sequent path f] runs [f] with the Sequent platform's telemetry

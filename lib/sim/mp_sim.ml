@@ -4,6 +4,14 @@ open Mp
    the current proc; return control to the simulation loop. *)
 type Engine.action += A_yield
 
+(* A parked idle poller ([Work.idle_until]): the fiber suspended once and
+   the scheduler services its per-quantum readiness checks and idle charges
+   directly, resuming the continuation only when the predicate holds.  The
+   predicate is evaluated at exactly the (clock, id) positions where the
+   always-suspend machine would have dispatched the polling fiber, so every
+   shared-state read happens at its reference position. *)
+type Engine.action += A_poll of (unit -> bool) * unit Engine.cont
+
 module Make
     (C : sig
       val config : Sim_config.t
@@ -42,6 +50,38 @@ struct
            real suspension; flushed to the trace when the proc suspends *)
   }
 
+  (* Lock representation, lifted out of [module Lock] so the scheduler's
+     lock state machine (below) can name it. *)
+  type sim_lock = { mutable held : bool }
+
+  (* One op of a work program ([Work.step]'s interleaved compute/alloc
+     slices, [Work.alloc]'s slice loop): the unit at which the reference
+     machine charges and suspends. *)
+  type work_op = W_charge of int | W_alloc of int
+
+  (* What to do once a parked lock episode acquires the lock: resume the
+     fiber ([K_lock]), or run a charge-free critical section, pay the
+     unlock, and only then resume ([K_locked], the [Lock.locked] fusion). *)
+  type lock_kont =
+    | K_lock of unit Engine.cont
+    | K_locked of (unit -> unit) * unit Engine.cont
+
+  (* Parked episodes serviced by the scheduler without re-entering the
+     fiber.  Each constructor records exactly which reference-machine
+     suspension it stands in for; the pending effects are applied at the
+     pop, at the same (clock, id) positions the always-suspend twin would
+     use, so virtual time is bit-identical while a whole episode costs at
+     most one effect-handler suspension. *)
+  type Engine.action +=
+    | A_work of work_op list * unit Engine.cont
+        (* previous op's charge applied; remaining ops pending *)
+    | A_lock_probe of sim_lock * int * lock_kont
+        (* probe charge + bus applied; the held-test is pending *)
+    | A_lock_wait of sim_lock * int * lock_kont
+        (* spin-retry charge applied; the next probe is pending *)
+    | A_unlock of sim_lock * unit Engine.cont
+        (* unlock charge + bus applied; the release write is pending *)
+
   let fresh_proc id =
     {
       id;
@@ -74,6 +114,8 @@ struct
   let max_clock = ref 0
   let sched_decisions_ct = ref 0
   let coalesced_ct = ref 0
+  let idle_parks_ct = ref 0
+  let idle_polls_ct = ref 0
   let lock_acquires_ct = ref 0
   let susp_at_start = ref 0
   let escaped : exn option ref = ref None
@@ -263,13 +305,15 @@ struct
             yield_ready p c)
     end
 
-  let alloc_impl words =
+  let alloc_slices words =
+    let ops = ref [] in
     let remaining = ref words in
     while !remaining > 0 do
       let slice = min !remaining alloc_slice_words in
-      alloc_one_slice slice;
+      ops := W_alloc slice :: !ops;
       remaining := !remaining - slice
-    done
+    done;
+    List.rev !ops
 
   (* ------------------------------------------------------------------ *)
   (* Simulation loop.                                                    *)
@@ -343,6 +387,169 @@ struct
     region_used := 0;
     gc_pending := false
 
+  (* Service a parked poller popped at its wake key.  Each iteration is one
+     reference-machine dispatch: count a decision, evaluate the predicate at
+     the current (clock, id) position, and either resume the fiber or charge
+     one idle quantum.  After a charge, keep going inline exactly when the
+     scheduler would re-pop this proc next anyway (its key still precedes
+     the heap minimum, no GC pending, horizon window not exhausted);
+     otherwise re-queue and let the next pop continue — either way no
+     effect-handler suspension is taken, which is the entire saving. *)
+  let poll_dispatch p rdy k =
+    let q = config.idle_quantum_cycles in
+    let budget = ref config.horizon_window in
+    let continue_ = ref true in
+    while !continue_ do
+      incr sched_decisions_ct;
+      incr idle_polls_ct;
+      if tracing () then
+        trace_event (Sim_trace.Dispatch { proc = p.id; clock = p.clock });
+      let r = rdy () in
+      if config.horizon_debug then
+        (* The equivalence argument needs a pure predicate: a second
+           evaluation at the same position must agree. *)
+        assert (rdy () = r);
+      if r then begin
+        continue_ := false;
+        interp p (Engine.Resume (k, ()))
+      end
+      else begin
+        p.clock <- p.clock + q;
+        p.idle <- p.idle + q;
+        observe_clock p.clock;
+        incr coalesced_ct;
+        budget := !budget - q;
+        if
+          !gc_pending || !budget < 0
+          || not (Ready_heap.precedes_min ready ~clock:p.clock ~id:p.id)
+        then begin
+          continue_ := false;
+          set_ready p (A_poll (rdy, k))
+        end
+        else if config.horizon_debug then check_heap ()
+      end
+    done
+
+  (* ------------------------------------------------------------------ *)
+  (* Scheduler-side episode machines.  Each function below replicates,    *)
+  (* term for term, what the reference fiber does during one dispatch:    *)
+  (* first the inline gate (identical conditions to the fiber fast path), *)
+  (* else the slow body's call-time effects followed by a re-queue.       *)
+  (* ------------------------------------------------------------------ *)
+
+  (* Apply one work-program op inline if the fiber's fast path would have;
+     [true] = applied, continue within this dispatch. *)
+  let work_inline p = function
+    | W_charge n -> n <= 0 || inline_charge p ~cpu:n ~bytes:0 ~idle:false
+    | W_alloc w ->
+        w <= 0
+        || !region_used + w < config.gc_region_words
+           && (let cpu =
+                 int_of_float (config.alloc_cycles_per_word *. float_of_int w)
+               in
+               inline_charge p ~cpu ~bytes:(w * config.word_bytes) ~idle:false)
+           && begin
+                p.alloc_words <- p.alloc_words + w;
+                region_used := !region_used + w;
+                true
+              end
+
+  (* The slow body's call-time effects (mirrors [charge_busy] /
+     [alloc_one_slice]'s suspend bodies). *)
+  let work_slow p = function
+    | W_charge n ->
+        p.clock <- p.clock + n;
+        p.busy <- p.busy + n;
+        observe_clock p.clock
+    | W_alloc w ->
+        let cpu =
+          int_of_float (config.alloc_cycles_per_word *. float_of_int w)
+        in
+        p.clock <- p.clock + cpu;
+        p.busy <- p.busy + cpu;
+        bus_transfer p (w * config.word_bytes);
+        p.alloc_words <- p.alloc_words + w;
+        region_used := !region_used + w;
+        if !region_used >= config.gc_region_words then gc_pending := true
+
+  let rec work_dispatch p ops k =
+    match ops with
+    | [] -> interp p (Engine.Resume (k, ()))
+    | op :: rest ->
+        if work_inline p op then work_dispatch p rest k
+        else begin
+          work_slow p op;
+          set_ready p (A_work (rest, k))
+        end
+
+  let retry_delay proc attempt =
+    config.spin_retry_cycles
+    + (((proc * config.spin_jitter_proc) + (attempt * config.spin_jitter_attempt))
+      mod config.spin_jitter_mod)
+
+  let note_acquired p attempt =
+    incr lock_acquires_ct;
+    if tracing () then begin
+      trace_event (Sim_trace.Lock_acquired { proc = p.id; clock = p.clock });
+      if attempt > 0 then
+        trace_event
+          (Sim_trace.Lock_contended
+             { proc = p.id; clock = p.clock; spins = attempt })
+    end
+
+  (* Position: probe complete (charge + bus applied); test the lock. *)
+  let rec lock_probe_result p l attempt kont =
+    if l.held then begin
+      p.spins <- p.spins + 1;
+      let attempt = attempt + 1 in
+      let d = retry_delay p.id attempt in
+      if inline_charge p ~cpu:d ~bytes:0 ~idle:false then
+        lock_send_probe p l attempt kont
+      else begin
+        p.clock <- p.clock + d;
+        p.busy <- p.busy + d;
+        observe_clock p.clock;
+        set_ready p (A_lock_wait (l, attempt, kont))
+      end
+    end
+    else begin
+      l.held <- true;
+      note_acquired p attempt;
+      lock_won p l kont
+    end
+
+  (* Position: about to issue the next probe. *)
+  and lock_send_probe p l attempt kont =
+    if
+      inline_charge p ~cpu:config.try_lock_cycles ~bytes:config.lock_bus_bytes
+        ~idle:false
+    then lock_probe_result p l attempt kont
+    else begin
+      p.clock <- p.clock + config.try_lock_cycles;
+      p.busy <- p.busy + config.try_lock_cycles;
+      bus_transfer p config.lock_bus_bytes;
+      set_ready p (A_lock_probe (l, attempt, kont))
+    end
+
+  and lock_won p l kont =
+    match kont with
+    | K_lock k -> interp p (Engine.Resume (k, ()))
+    | K_locked (run, k) ->
+        run ();
+        if
+          inline_charge p ~cpu:config.unlock_cycles
+            ~bytes:config.lock_bus_bytes ~idle:false
+        then begin
+          l.held <- false;
+          interp p (Engine.Resume (k, ()))
+        end
+        else begin
+          p.clock <- p.clock + config.unlock_cycles;
+          p.busy <- p.busy + config.unlock_cycles;
+          bus_transfer p config.lock_bus_bytes;
+          set_ready p (A_unlock (l, k))
+        end
+
   let any_gc_waiting () =
     Array.exists (fun p -> match p.state with Gc_waiting _ -> true | _ -> false) procs
 
@@ -385,12 +592,41 @@ struct
         end
         else begin
           let a = match p.state with Ready a -> a | _ -> assert false in
-          incr sched_decisions_ct;
           p.state <- Current;
           current := p.id;
-          (if tracing () then
-             trace_event (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
-          interp p a;
+          (match a with
+          | A_poll (rdy, k) -> poll_dispatch p rdy k
+          | A_work (ops, k) ->
+              incr sched_decisions_ct;
+              (if tracing () then
+                 trace_event
+                   (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
+              work_dispatch p ops k
+          | A_lock_probe (l, attempt, kont) ->
+              incr sched_decisions_ct;
+              (if tracing () then
+                 trace_event
+                   (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
+              lock_probe_result p l attempt kont
+          | A_lock_wait (l, attempt, kont) ->
+              incr sched_decisions_ct;
+              (if tracing () then
+                 trace_event
+                   (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
+              lock_send_probe p l attempt kont
+          | A_unlock (l, k) ->
+              incr sched_decisions_ct;
+              (if tracing () then
+                 trace_event
+                   (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
+              l.held <- false;
+              interp p (Engine.Resume (k, ()))
+          | a ->
+              incr sched_decisions_ct;
+              (if tracing () then
+                 trace_event
+                   (Sim_trace.Dispatch { proc = p.id; clock = p.clock }));
+              interp p a);
           (if tracing () && p.state = Free then
              trace_event (Sim_trace.Freed { proc = p.id; clock = p.clock }));
           loop ()
@@ -461,7 +697,7 @@ struct
   end
 
   module Lock = struct
-    type mutex_lock = { mutable held : bool }
+    type mutex_lock = sim_lock
 
     let mutex_lock () = { held = false }
 
@@ -495,13 +731,66 @@ struct
         true
       end
 
+    (* One parked lock episode: spin inline exactly as the reference loop
+       below for as long as the gates allow, and on the first gate failure
+       suspend once, handing the rest of the episode (probes, retry
+       delays, held-test, acquisition — and for [K_locked] the critical
+       section and unlock too) to the scheduler's lock machine.  The
+       reference loop costs up to two suspensions per spin iteration; this
+       costs at most one per episode. *)
+    let lock_fast l kont_of =
+      let p = cur () in
+      let attempt = ref 0 in
+      let done_ = ref false in
+      let parked = ref false in
+      while not !done_ do
+        if
+          inline_charge p ~cpu:config.try_lock_cycles
+            ~bytes:config.lock_bus_bytes ~idle:false
+        then begin
+          if l.held then begin
+            p.spins <- p.spins + 1;
+            incr attempt;
+            let d = retry_delay p.id !attempt in
+            if not (inline_charge p ~cpu:d ~bytes:0 ~idle:false) then begin
+              done_ := true;
+              parked := true;
+              Engine.suspend (fun c ->
+                  p.clock <- p.clock + d;
+                  p.busy <- p.busy + d;
+                  observe_clock p.clock;
+                  set_ready p (A_lock_wait (l, !attempt, kont_of c));
+                  A_yield)
+            end
+          end
+          else begin
+            l.held <- true;
+            done_ := true;
+            note_acquired p !attempt
+          end
+        end
+        else begin
+          done_ := true;
+          parked := true;
+          Engine.suspend (fun c ->
+              p.clock <- p.clock + config.try_lock_cycles;
+              p.busy <- p.busy + config.try_lock_cycles;
+              bus_transfer p config.lock_bus_bytes;
+              set_ready p (A_lock_probe (l, !attempt, kont_of c));
+              A_yield)
+        end
+      done;
+      !parked
+
     (* Deterministic per-proc, per-attempt jitter on the retry delay breaks
        the phase-locking that a fixed period can produce under the
        deterministic min-clock scheduler (a spinning proc could otherwise
        probe forever exactly inside other procs' hold windows).  The
        multipliers and modulus are Sim_config knobs for backoff
        experiments. *)
-    let lock l =
+    (* Reference spin loop: the always-suspend oracle, also used when the
+       horizon fast path is disabled. *)
+    let lock_ref l =
       let attempt = ref 0 in
       while not (try_lock l) do
         incr attempt;
@@ -517,6 +806,11 @@ struct
           (Sim_trace.Lock_contended
              { proc = q.id; clock = q.clock; spins = !attempt })
 
+    let lock l =
+      if run_ahead_enabled && config.horizon then
+        ignore (lock_fast l (fun c -> K_lock c))
+      else lock_ref l
+
     let unlock l =
       let p = cur () in
       if
@@ -530,11 +824,67 @@ struct
             bus_transfer p config.lock_bus_bytes;
             yield_ready p c);
       l.held <- false
+
+    (* lock + charge-free critical section + unlock, fused into a single
+       parked episode: under contention the whole sequence costs at most
+       one suspension instead of one per probe, retry and unlock. *)
+    let locked l f =
+      if run_ahead_enabled && config.horizon then begin
+        let res = ref None in
+        let run () = res := Some (try Ok (f ()) with e -> Error e) in
+        let parked = lock_fast l (fun c -> K_locked (run, c)) in
+        if not parked then begin
+          (* acquired inline: the fiber pays for the section and unlock,
+             exactly as the reference below *)
+          run ();
+          unlock l
+        end;
+        match !res with
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false
+      end
+      else begin
+        lock_ref l;
+        match f () with
+        | v ->
+            unlock l;
+            v
+        | exception e ->
+            unlock l;
+            raise e
+      end
   end
+
+  (* Run a work program from the fiber: ops execute inline while the gates
+     allow; the first gate failure suspends once and hands the remainder to
+     the scheduler's work machine ([work_dispatch]), which services it at
+     the reference positions.  With the horizon disabled this is exactly
+     the reference per-op loop. *)
+  let run_ops ops =
+    if run_ahead_enabled && config.horizon then begin
+      let p = cur () in
+      let rec go = function
+        | [] -> ()
+        | op :: rest ->
+            if work_inline p op then go rest
+            else
+              (* returns once the machine has drained [rest] *)
+              Engine.suspend (fun c ->
+                  work_slow p op;
+                  set_ready p (A_work (rest, c));
+                  A_yield)
+      in
+      go ops
+    end
+    else
+      List.iter
+        (function W_charge n -> charge_busy n | W_alloc w -> alloc_one_slice w)
+        ops
 
   module Work = struct
     let charge n = charge_busy n
-    let alloc ~words = alloc_impl words
+    let alloc ~words = run_ops (alloc_slices words)
 
     let traffic ~bytes =
       if bytes > 0 then begin
@@ -554,15 +904,43 @@ struct
       let cycles = int_of_float (float_of_int instrs *. config.cpi) in
       let slices = max 1 ((words + alloc_slice_words - 1) / alloc_slice_words) in
       let cyc_per = cycles / slices and w_per = words / slices in
-      for i = 1 to slices do
-        charge_busy (if i = 1 then cycles - (cyc_per * (slices - 1)) else cyc_per);
-        alloc_one_slice (if i = 1 then words - (w_per * (slices - 1)) else w_per)
+      let ops = ref [] in
+      for i = slices downto 1 do
+        ops :=
+          W_charge
+            (if i = 1 then cycles - (cyc_per * (slices - 1)) else cyc_per)
+          :: W_alloc (if i = 1 then words - (w_per * (slices - 1)) else w_per)
+          :: !ops
       done;
+      run_ops !ops;
       !poll_hook ()
 
     let poll () = !poll_hook ()
     let set_poll_hook f = poll_hook := f
     let idle () = charge_idle config.idle_quantum_cycles
+
+    (* Fast path: park once and let the scheduler service the per-quantum
+       checks ([poll_dispatch]).  The park charges the first quantum, so
+       the first check happens one quantum after the call — exactly where
+       the fallback (and the always-suspend twin) evaluates it. *)
+    let idle_until ~ready =
+      if run_ahead_enabled && config.horizon then
+        Engine.suspend (fun c ->
+            let p = cur () in
+            p.clock <- p.clock + config.idle_quantum_cycles;
+            p.idle <- p.idle + config.idle_quantum_cycles;
+            observe_clock p.clock;
+            incr idle_parks_ct;
+            set_ready p (A_poll (ready, c));
+            A_yield)
+      else begin
+        let rec go () =
+          charge_idle config.idle_quantum_cycles;
+          if not (ready ()) then go ()
+        in
+        go ()
+      end
+
     let now () = Sim_config.cycles_to_seconds config (cur ()).clock
   end
 
@@ -591,6 +969,8 @@ struct
     max_clock := 0;
     sched_decisions_ct := 0;
     coalesced_ct := 0;
+    idle_parks_ct := 0;
+    idle_polls_ct := 0;
     lock_acquires_ct := 0;
     susp_at_start := Engine.suspensions ();
     escaped := None;
@@ -603,6 +983,8 @@ struct
     set "sim.makespan_cycles" !max_clock;
     set "sim.sched_decisions" !sched_decisions_ct;
     set "sim.coalesced_charges" !coalesced_ct;
+    set "sim.idle_parks" !idle_parks_ct;
+    set "sim.idle_polls" !idle_polls_ct;
     set "gc.collections" !gc_count;
     set "gc.cycles" !gc_cycles_total;
     set "bus.bytes" !bus_total_bytes;
@@ -664,6 +1046,8 @@ struct
     let suspensions () = Engine.suspensions () - !susp_at_start
     let heap_ops () = Ready_heap.ops ready
     let coalesced_charges () = !coalesced_ct
+    let idle_parks () = !idle_parks_ct
+    let idle_polls () = !idle_polls_ct
     let gc_cycles () = !gc_cycles_total
     let gc_collections () = !gc_count
     let bus_bytes () = !bus_total_bytes

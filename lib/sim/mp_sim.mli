@@ -49,6 +49,16 @@ end)
     (** Host-side: charging operations absorbed inline by the run-ahead
         fast path (each would have been one suspension + one dispatch). *)
 
+    val idle_parks : unit -> int
+    (** Host-side: [Work.idle_until] calls that parked a poller — each is
+        the {e single} suspension taken for a whole idle episode under
+        quiescence-epoch coalescing. *)
+
+    val idle_polls : unit -> int
+    (** Host-side: per-quantum readiness checks serviced by the scheduler
+        for parked pollers; under the always-suspend twin each would have
+        been one suspension + one fiber round-trip. *)
+
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
     val bus_bytes : unit -> int
@@ -84,6 +94,8 @@ end)
     val suspensions : unit -> int
     val heap_ops : unit -> int
     val coalesced_charges : unit -> int
+    val idle_parks : unit -> int
+    val idle_polls : unit -> int
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
     val bus_bytes : unit -> int

@@ -22,6 +22,9 @@ type t = {
   spin_jitter_mod : int;
   run_ahead : bool;
   run_ahead_window : int;
+  horizon : bool;
+  horizon_window : int;
+  horizon_debug : bool;
   heap_debug : bool;
 }
 
@@ -52,6 +55,9 @@ let sequent ?(procs = 16) () =
     spin_jitter_mod = 101;
     run_ahead = true;
     run_ahead_window = max_int;
+    horizon = true;
+    horizon_window = max_int;
+    horizon_debug = false;
     heap_debug = false;
   }
 
@@ -82,6 +88,9 @@ let sgi ?(procs = 8) () =
     spin_jitter_mod = 101;
     run_ahead = true;
     run_ahead_window = max_int;
+    horizon = true;
+    horizon_window = max_int;
+    horizon_debug = false;
     heap_debug = false;
   }
 

@@ -56,6 +56,25 @@ type t = {
           forced suspension just bounces through the scheduler, which
           re-picks the same proc); smaller windows give finer-grained traces
           and watchdog coverage at more host cost.  [max_int] = unbounded. *)
+  horizon : bool;
+      (** Enable quiescence-epoch coalescing of idle polling
+          ([Work.idle_until]): an idle proc parks once and its per-quantum
+          charges and readiness checks are serviced by the scheduler at
+          exactly the positions the always-suspend machine would dispatch
+          it, with no effect-handler round-trips.  [false] falls back to
+          one suspension per idle quantum (the twin-machine oracle). *)
+  horizon_window : int;
+      (** Maximum idle cycles one scheduler dispatch may coalesce before
+          re-queueing the poller — the interaction-horizon bound, analogous
+          to [run_ahead_window].  Any positive value preserves virtual time
+          (a re-queue re-pops the same proc at the same key); [max_int] =
+          bounded only by other procs' heap keys. *)
+  horizon_debug : bool;
+      (** Cross-check the horizon fast path against always-suspend-twin
+          assumptions on every poll dispatch: the readiness predicate must
+          be pure (evaluated twice, equal results) and every coalesced
+          quantum's post-charge key must precede the ready-heap minimum.
+          Debug only — doubles predicate evaluations. *)
   heap_debug : bool;
       (** Check ready-heap invariants (heap order + index consistency)
           after every scheduler operation; O(procs) per check, debug only. *)

@@ -35,9 +35,8 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   let timer_priority time = -(int_of_float (time *. 1e9))
 
   let at time callback =
-    P.Lock.lock timer_lock;
-    PQ.enq !timers ~priority:(timer_priority time) (time, callback);
-    P.Lock.unlock timer_lock
+    P.Lock.locked timer_lock (fun () ->
+        PQ.enq !timers ~priority:(timer_priority time) (time, callback))
 
   (* Fire every due timer; true if any fired.  The unlocked peek matters:
      dispatch calls this on every idle iteration, and taking the lock each
@@ -50,7 +49,6 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     | Some (t0, _) when t0 > P.Work.now () -> false
     | Some _ ->
         let now = P.Work.now () in
-        P.Lock.lock timer_lock;
         let rec drain acc =
           match PQ.peek_opt !timers with
           | Some (t, _) when t <= now ->
@@ -58,8 +56,7 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
               drain (cb :: acc)
           | _ -> List.rev acc
         in
-        let due = drain [] in
-        P.Lock.unlock timer_lock;
+        let due = P.Lock.locked timer_lock (fun () -> drain []) in
         List.iter (fun cb -> cb ()) due;
         due <> []
 
@@ -110,7 +107,21 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
         if fire_due_timers () then dispatch ()
         else if !finished then P.Proc.release_proc ()
         else begin
-          P.Work.idle ();
+          (* Idle until any of the conditions the loop above would act on
+             can hold.  The predicate mirrors this dispatch's uncharged
+             failure path read-for-read — racy deque peeks, an unlocked
+             timer peek, the finished flag — and is side-effect- and
+             charge-free, as [Work.idle_until] requires; a wake re-runs the
+             full (charged) probes above from the same position. *)
+          let rq_now = !rq in
+          P.Work.idle_until ~ready:(fun () ->
+              !finished
+              || (match PQ.peek_opt !timers with
+                 | Some (t0, _) -> t0 <= P.Work.now ()
+                 | None -> false)
+              ||
+              if !central then MQ.looks_nonempty_local rq_now ~proc:0
+              else MQ.looks_nonempty rq_now);
           dispatch ()
         end
 
@@ -206,11 +217,13 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
         let waiter : (unit Engine.cont * int) option ref = ref None in
         let wrap f () =
           (try f () with e -> record_error e);
-          P.Lock.lock lock;
-          decr remaining;
-          let w = if !remaining = 0 then !waiter else None in
-          if w <> None then waiter := None;
-          P.Lock.unlock lock;
+          let w =
+            P.Lock.locked lock (fun () ->
+                decr remaining;
+                let w = if !remaining = 0 then !waiter else None in
+                if w <> None then waiter := None;
+                w)
+          in
           match w with
           | Some (k, tid) -> reschedule (k, tid)
           | None -> ()
@@ -218,16 +231,15 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
         List.iter (fun f -> fork (wrap f)) fns;
         let my_tid = id () in
         Engine.callcc (fun k ->
-            P.Lock.lock lock;
-            if !remaining = 0 then begin
-              P.Lock.unlock lock;
-              Engine.throw k ()
-            end
-            else begin
-              waiter := Some (k, my_tid);
-              P.Lock.unlock lock;
-              dispatch ()
-            end)
+            let zero =
+              P.Lock.locked lock (fun () ->
+                  if !remaining = 0 then true
+                  else begin
+                    waiter := Some (k, my_tid);
+                    false
+                  end)
+            in
+            if zero then Engine.throw k () else dispatch ())
 
   let par_iter ?chunks n f =
     if n > 0 then begin

@@ -378,6 +378,53 @@ let prop_bounded_never_exceeds =
           Bounded_queue.length q <= cap)
         ops)
 
+(* The parallel sweep driver distributes jobs through this deque with one
+   owner and N-1 stealing domains; exercise exactly that shape (4 host
+   domains, randomized push/pop interleaving) and require conservation:
+   every pushed value consumed exactly once, across push/pop/steal races
+   and buffer growth. *)
+let prop_ws_four_domain_race =
+  QCheck.Test.make
+    ~name:"ws_deque: 1 owner + 3 thieves (4 domains) conserve every item"
+    ~count:10
+    QCheck.(pair (int_range 500 5_000) (int_range 2 7))
+    (fun (n, pop_every) ->
+      let d = Ws_deque.create () in
+      let consumed = Atomic.make 0 in
+      let sum = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let thief () =
+        while not (Atomic.get stop) do
+          match Ws_deque.steal d with
+          | Some v ->
+              ignore (Atomic.fetch_and_add sum v);
+              Atomic.incr consumed
+          | None -> Domain.cpu_relax ()
+        done
+      in
+      let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+      for i = 1 to n do
+        Ws_deque.push d i;
+        if i mod pop_every = 0 then
+          match Ws_deque.pop d with
+          | Some v ->
+              ignore (Atomic.fetch_and_add sum v);
+              Atomic.incr consumed
+          | None -> ()
+      done;
+      let rec drain () =
+        match Ws_deque.pop d with
+        | Some v ->
+            ignore (Atomic.fetch_and_add sum v);
+            Atomic.incr consumed;
+            drain ()
+        | None -> if Atomic.get consumed < n then drain ()
+      in
+      drain ();
+      Atomic.set stop true;
+      List.iter Domain.join thieves;
+      Atomic.get sum = n * (n + 1) / 2 && Atomic.get consumed = n)
+
 let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
 
 let () =
@@ -452,5 +499,6 @@ let () =
           prop_priority_sorted;
           prop_deque_double_ended;
           prop_bounded_never_exceeds;
+          prop_ws_four_domain_race;
         ];
     ]

@@ -179,6 +179,28 @@ let test_sweep_no_gc_at_least_as_fast () =
       checkb (bench ^ " gc exclusion not worse") true (sp_nogc >= sp -. 0.3))
     [ "allpairs"; "abisort"; "mm" ]
 
+(* Satellite of the parallel-driver PR: self-relative speedup must be
+   monotone non-decreasing from 1 to 4 procs for every workload (speedup@1
+   is 1.0 by construction, so this is speedup@4 >= 1). *)
+let test_sweep_speedup_monotone () =
+  let s = Lazy.force samples in
+  List.iter
+    (fun bench ->
+      let sp1 = Report.Experiments.speedup s ~bench ~procs:1 in
+      let sp4 = Report.Experiments.speedup s ~bench ~procs:4 in
+      checkb
+        (Printf.sprintf "%s speedup monotone 1->4 (%.3f -> %.3f)" bench sp1 sp4)
+        true (sp4 >= sp1))
+    [ "allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq" ]
+
+(* The parallel sweep driver must be invisible in the results: fanning the
+   grid cells across 2 host domains yields the exact sample list the
+   sequential driver produces. *)
+let test_sweep_jobs_deterministic () =
+  let s1 = Lazy.force samples in
+  let s2 = Report.Experiments.sequent_sweep ~plist:[ 1; 4 ] ~jobs:2 () in
+  checkb "jobs=2 sample list identical to jobs=1" true (s1 = s2)
+
 let test_print_sections_smoke () =
   let s = Lazy.force samples in
   let out =
@@ -227,6 +249,10 @@ let () =
           Alcotest.test_case "sweep verified" `Slow test_sweep_all_verified;
           Alcotest.test_case "speedups reasonable" `Slow
             test_sweep_speedups_reasonable;
+          Alcotest.test_case "speedup monotone 1->4" `Slow
+            test_sweep_speedup_monotone;
+          Alcotest.test_case "parallel driver deterministic" `Slow
+            test_sweep_jobs_deterministic;
           Alcotest.test_case "gc exclusion" `Slow test_sweep_no_gc_at_least_as_fast;
           Alcotest.test_case "print sections" `Slow test_print_sections_smoke;
         ] );

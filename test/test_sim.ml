@@ -453,6 +453,60 @@ let test_run_ahead_equivalence () =
       check (tag "bus bytes") (NoRa.Machine.bus_bytes ()) bf)
     [ ("abisort", 4); ("mst", 4); ("seq", 16) ]
 
+(* The same oracle at the proc counts the quiescence-epoch coalescing does
+   not see elsewhere in the suite: mid-grid (2) and the SGI-sized pool (8).
+   Every workload runs on both machines at both counts. *)
+let test_run_ahead_equivalence_2_8 () =
+  List.iter
+    (fun (bench, procs) ->
+      let wf = GB.run_named bench ~procs in
+      let mf = G.Machine.makespan_cycles () in
+      let gf = G.Machine.gc_collections () in
+      let bf = G.Machine.bus_bytes () in
+      let ws = NoRaB.run_named bench ~procs in
+      let tag s = Printf.sprintf "%s@%d %s" bench procs s in
+      check (tag "witness") ws wf;
+      check (tag "makespan") (NoRa.Machine.makespan_cycles ()) mf;
+      check (tag "collections") (NoRa.Machine.gc_collections ()) gf;
+      check (tag "bus bytes") (NoRa.Machine.bus_bytes ()) bf)
+    (List.concat_map
+       (fun bench -> [ (bench, 2); (bench, 8) ])
+       [ "allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq" ])
+
+(* The horizon assertion mode ([horizon_debug], the heap_debug analogue for
+   interaction horizons) re-evaluates every poller readiness probe and
+   cross-checks the ready heap at each coalesced quantum; with it enabled
+   the machine must still reproduce the golden table bit-for-bit. *)
+module HDbg =
+  Sim.Mp_sim.Int (struct
+      let config =
+        {
+          (Sim.Sim_config.sequent ~procs:16 ()) with
+          Sim.Sim_config.horizon_debug = true;
+          heap_debug = true;
+        }
+    end)
+    ()
+
+module HDbgB = Workloads.Bench_suite.Make (HDbg)
+
+let test_horizon_debug_matches_golden () =
+  List.iter
+    (fun (bench, procs) ->
+      let rows = List.assoc bench golden in
+      let makespan, gc, bus, witness =
+        List.fold_left
+          (fun acc (p, m, g, b, w) -> if p = procs then (m, g, b, w) else acc)
+          (0, 0, 0, 0) rows
+      in
+      let tag s = Printf.sprintf "%s@%d %s" bench procs s in
+      let w = HDbgB.run_named bench ~procs in
+      check (tag "witness") witness w;
+      check (tag "makespan") makespan (HDbg.Machine.makespan_cycles ());
+      check (tag "collections") gc (HDbg.Machine.gc_collections ());
+      check (tag "bus bytes") bus (HDbg.Machine.bus_bytes ()))
+    [ ("mst", 4); ("simple", 16); ("mm", 16) ]
+
 (* ---------------- sim-core host cost budget ---------------- *)
 
 (* Smoke check that the run-ahead fast path stays effective: on a fixed
@@ -603,6 +657,10 @@ let () =
         [
           Alcotest.test_case "equivalent to always-suspend" `Quick
             test_run_ahead_equivalence;
+          Alcotest.test_case "equivalent at procs 2 and 8" `Quick
+            test_run_ahead_equivalence_2_8;
+          Alcotest.test_case "horizon assertion mode matches goldens" `Quick
+            test_horizon_debug_matches_golden;
           Alcotest.test_case "suspension budget" `Quick test_suspension_budget;
         ] );
       ( "properties",
