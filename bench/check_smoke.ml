@@ -1,0 +1,129 @@
+(* CI gate for the mp_check exploration harness.
+
+   Runs every scenario in the corpus under a wall-clock budget and prints a
+   per-scenario table; exits nonzero if any scenario fails, if the
+   self-test (the deliberately broken lock) is NOT caught, or if the
+   per-scenario schedule floor is not met.  Two shapes:
+
+     check_smoke.exe --bound 2 --seconds 120           # every-PR gate
+     check_smoke.exe --bound 3 --faults --mode both    # weekly deep run *)
+
+let bound = ref 2
+let mode = ref "dfs" (* dfs | random | both *)
+let runs = ref 500
+let seed = ref None
+let with_faults = ref false
+let seconds = ref 120.0
+let max_schedules = ref 20_000
+let max_steps = ref 20_000
+
+let usage = "check_smoke [--bound N] [--mode dfs|random|both] [--runs N] [--seed 0x...] [--faults] [--seconds S] [--max-schedules N]"
+
+let spec =
+  [
+    ("--bound", Arg.Set_int bound, "preemption bound for DFS (default 2)");
+    ("--mode", Arg.Set_string mode, "dfs | random | both (default dfs)");
+    ("--runs", Arg.Set_int runs, "random runs per scenario (default 500)");
+    ( "--seed",
+      Arg.String (fun s -> seed := Some (Mpcheck.Sched_seed.of_string s)),
+      "base seed for random mode" );
+    ("--faults", Arg.Set with_faults, "enable fault injection");
+    ("--seconds", Arg.Set_float seconds, "total wall-clock budget (default 120)");
+    ( "--max-schedules",
+      Arg.Set_int max_schedules,
+      "DFS schedule cap per scenario (default 20000)" );
+    ("--max-steps", Arg.Set_int max_steps, "per-run step budget (default 20000)");
+  ]
+
+module P = Mpcheck.Mp_check.Int (struct
+  let max_procs = 2
+end) ()
+
+module S = Mpcheck.Scenarios.Make (P)
+
+let () =
+  Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let faults =
+    if !with_faults then
+      {
+        Mpcheck.Check_intf.no_faults with
+        try_lock_fail_pct = 20;
+        backoff_boost = 2;
+      }
+    else Mpcheck.Check_intf.no_faults
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. !seconds in
+  let failures = ref 0 in
+  let skipped = ref 0 in
+  Printf.printf "mp_check smoke: bound=%d mode=%s faults=%b budget=%.0fs\n%!"
+    !bound !mode !with_faults !seconds;
+  Printf.printf "%-22s %10s %9s %7s %s\n" "scenario" "schedules" "truncated"
+    "time" "result";
+  let run_scenario want_failure (name, body) =
+    if Unix.gettimeofday () > deadline then begin
+      incr skipped;
+      Printf.printf "%-22s %10s %9s %7s skipped (budget exhausted)\n%!" name
+        "-" "-" "-"
+    end
+    else begin
+      let s0 = Unix.gettimeofday () in
+      let reports = ref [] in
+      if !mode = "dfs" || !mode = "both" then
+        reports :=
+          P.Explore.dfs ~bound:!bound ~max_schedules:!max_schedules
+            ~max_steps:!max_steps ~faults
+            ~stop:(fun () -> Unix.gettimeofday () > deadline)
+            body
+          :: !reports;
+      if
+        (!mode = "random" || !mode = "both")
+        && not (List.exists (fun r -> r.Mpcheck.Mp_check.failure <> None) !reports)
+      then
+        reports :=
+          P.Explore.random ?seed:!seed ~runs:!runs ~max_steps:!max_steps
+            ~faults body
+          :: !reports;
+      let dt = Unix.gettimeofday () -. s0 in
+      let schedules =
+        List.fold_left (fun n r -> n + r.Mpcheck.Mp_check.schedules) 0 !reports
+      in
+      let truncated =
+        List.fold_left (fun n r -> n + r.Mpcheck.Mp_check.truncated) 0 !reports
+      in
+      let failure =
+        List.find_map (fun r -> r.Mpcheck.Mp_check.failure) !reports
+      in
+      let capped =
+        List.exists (fun r -> r.Mpcheck.Mp_check.capped) !reports
+      in
+      let ok, verdict =
+        match (failure, want_failure) with
+        | None, false ->
+            (schedules > 0, if capped then "ok (capped)" else "ok")
+        | Some _, true -> (true, "caught (expected)")
+        | None, true -> (false, "MISSED EXPECTED BUG")
+        | Some _, false -> (false, "FAILED")
+      in
+      Printf.printf "%-22s %10d %9d %6.2fs %s\n%!" name schedules truncated dt
+        verdict;
+      (match failure with
+      | Some f when not want_failure ->
+          Format.printf "%a@." Mpcheck.Mp_check.pp_failure f
+      | _ -> ());
+      if not ok then incr failures
+    end
+  in
+  List.iter (run_scenario false) S.all;
+  (* heavy scenarios: schedule-capped so the gate stays fast *)
+  List.iter
+    (fun (name, body) -> run_scenario false (name, body))
+    (List.map
+       (fun (n, b) -> (n, b))
+       (if !bound >= 2 then S.heavy else []));
+  (* self-test: the broken lock must be caught *)
+  List.iter (run_scenario true) S.broken;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "total: %.1fs, %d failure(s), %d skipped\n%!" dt !failures
+    !skipped;
+  if !failures > 0 then exit 1

@@ -1,0 +1,33 @@
+(** Fault-injection configuration for schedule exploration.
+
+    Faults model the legal-but-rare behaviours of a real platform that the
+    deterministic backends never produce on their own: a [try_lock] that
+    fails although the lock is free (lost bus arbitration), a backoff pause
+    that lasts far longer than requested (the paper's exponential-backoff
+    discussion), and [acquire_proc] hitting the proc limit at the worst
+    moment.  All are sound to inject — a client correct under the platform
+    contract must tolerate every one of them — so any scenario failure under
+    faults is a genuine bug. *)
+
+type faults = {
+  try_lock_fail_pct : int;
+      (** Probability (percent, 0–100) that a platform [Lock.try_lock]
+          spuriously fails even though the lock is free. *)
+  backoff_boost : int;
+      (** Extra yield points injected at each [Prims.pause_n] — a proc in
+          backoff can be held off the lock arbitrarily long. *)
+  fail_acquire_at : int option;
+      (** Raise [No_More_Procs] at the n-th [acquire_proc] of the run
+          (1-based), regardless of pool occupancy. *)
+  fault_seed : int64;
+      (** Seed for the counter-hash that decides probabilistic injections;
+          keep it fixed across replays of the same failure. *)
+}
+
+let no_faults =
+  {
+    try_lock_fail_pct = 0;
+    backoff_boost = 0;
+    fail_acquire_at = None;
+    fault_seed = Sched_seed.default;
+  }

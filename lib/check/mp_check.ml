@@ -1,0 +1,851 @@
+(* The exploration backend.  One host thread; procs are cooperative fibers
+   scheduled by the exploration loop.  A proc runs atomically from one
+   serialization point to the next (a "slice"); the loop's only job is to
+   decide, at each decision index, which enabled proc performs its pending
+   visible operation.  Forcing those decisions from a prefix array gives
+   deterministic replay; enumerating alternatives under a preemption bound
+   gives CHESS-style systematic exploration; drawing them from splitmix64
+   gives seeded fuzzing. *)
+
+module Engine = Mp.Engine
+
+exception Truncated
+
+type failure = {
+  error : exn;
+  schedule : int list;
+  seed : string option;
+  trace : Obs.Event.t list;
+}
+
+type report = {
+  schedules : int;
+  truncated : int;
+  capped : bool;
+  failure : failure option;
+}
+
+let pp_failure fmt f =
+  Format.fprintf fmt "@[<v>failure: %s@;" (Printexc.to_string f.error);
+  (match f.seed with
+  | Some s -> Format.fprintf fmt "seed: %s (replay with MP_CHECK_SEED=%s)@;" s s
+  | None -> ());
+  Format.fprintf fmt "schedule (%d forced choices): [%s]@;"
+    (List.length f.schedule)
+    (String.concat "; " (List.map string_of_int f.schedule));
+  Format.fprintf fmt "trace (%d decisions):@;" (List.length f.trace);
+  List.iter (fun e -> Format.fprintf fmt "  %a@;" Obs.Event.pp e) f.trace;
+  Format.fprintf fmt "@]"
+
+module type S = sig
+  include Mp.Mp_intf.PLATFORM
+
+  module Prims : Locks.Lock_intf.PRIMS
+  module Catomic : Queues.Queue_intf.ATOMIC
+
+  val spawn : (unit -> unit) -> unit
+
+  module Explore : sig
+    val dfs :
+      ?bound:int ->
+      ?max_schedules:int ->
+      ?max_steps:int ->
+      ?faults:Check_intf.faults ->
+      ?stop:(unit -> bool) ->
+      (unit -> unit) ->
+      report
+
+    val random :
+      ?seed:int64 ->
+      ?runs:int ->
+      ?max_steps:int ->
+      ?faults:Check_intf.faults ->
+      (unit -> unit) ->
+      report
+
+    val replay :
+      schedule:int list ->
+      ?max_steps:int ->
+      ?faults:Check_intf.faults ->
+      (unit -> unit) ->
+      failure option
+  end
+end
+
+module Make (C : sig
+  val max_procs : int
+end) (D : Mp.Mp_intf.DATUM) =
+struct
+  let name = "check"
+  let n_procs = max 1 C.max_procs
+
+  (* ---- visible-operation protocol ---------------------------------- *)
+
+  type lock = { lid : int; mutable held : bool }
+  type wait = W_lock of lock | W_pred of (unit -> bool)
+  type point_kind = K_plain | K_yield
+
+  type Engine.action +=
+    | A_point of string * point_kind * unit Engine.cont
+    | A_block of string * wait * unit Engine.cont
+
+  (* ---- per-run state ------------------------------------------------ *)
+
+  type pstate = Free | Ready | Blocked
+
+  type proc = {
+    id : int;
+    mutable state : pstate;
+    mutable pending : Engine.action option;
+    mutable wait : wait option;
+    mutable datum : D.t;
+    mutable yielded : bool;
+    mutable op : string;  (* label of the pending visible operation *)
+  }
+
+  let procs =
+    Array.init n_procs (fun id ->
+        {
+          id;
+          state = Free;
+          pending = None;
+          wait = None;
+          datum = D.initial;
+          yielded = false;
+          op = "start";
+        })
+
+  let running = ref false
+  let cur = ref 0
+  let nsteps = ref 0
+  let failed : exn option ref = ref None
+  let last_chosen = ref (-1)
+  let preempts = ref 0
+  let truncated = ref false
+  let spins = ref 0
+
+  (* One decision of the exploration loop.  [d_choices] is the
+     fairness-restricted choice set (yielded procs excluded while a
+     non-yielded proc is enabled); [d_prev]/[d_prev_continuable] record
+     whether switching away from the previous proc costs a preemption, so
+     the DFS can price alternatives without re-running the prefix. *)
+  type decision = {
+    d_choices : int array;
+    d_chosen : int;
+    d_prev : int;
+    d_prev_continuable : bool;
+    d_preempts_before : int;
+    d_op : string;
+    d_stutter : bool;
+        (* every offered proc was parked at a spin-yield point: the choice
+           only reorders spin iterations (stutter steps), so the DFS does
+           not branch here — without this cut a pair of overlapping spin
+           loops makes exploration enumerate "spin one more time" forever *)
+  }
+
+  let decisions_rev : decision list ref = ref []
+
+  (* Exploration configuration, installed around each run. *)
+  type policy = step:int -> choices:int array -> default:int -> int
+
+  let default_only : policy = fun ~step:_ ~choices:_ ~default -> default
+  let current_policy : policy ref = ref default_only
+  let current_faults = ref Check_intf.no_faults
+  let current_max_steps = ref 10_000
+
+  (* fault-injection site counters (reset per run) *)
+  let n_try_lock = ref 0
+  let n_acquire = ref 0
+
+  let pct_fault pct counter =
+    pct > 0
+    && begin
+         incr counter;
+         let h = Sched_seed.hash2 !current_faults.Check_intf.fault_seed !counter in
+         Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) 100L) < pct
+       end
+
+  (* Locks and cells created OUTSIDE a run (functor-application time, e.g.
+     hwpool's hardware-lock pool or CML's global lock when instantiated at
+     module level) persist across runs, so they register a reset hook that
+     restores their initial value at run start — a truncated run may leave
+     them held/dirty.  Objects created during a run are fresh per run and
+     need no hook.  Ids come from two counters so trace labels are stable
+     under replay: persistent objects number from 0, per-run objects from a
+     base that resets every run. *)
+  let persistent_resets : (unit -> unit) list ref = ref []
+  let persistent_ids = ref 0
+  let run_ids = ref 1_000_000
+
+  let fresh_id () =
+    if !running then (
+      let i = !run_ids in
+      incr run_ids;
+      i)
+    else (
+      let i = !persistent_ids in
+      incr persistent_ids;
+      i)
+
+  let register_reset f =
+    if not !running then persistent_resets := f :: !persistent_resets
+
+  (* ---- serialization points ---------------------------------------- *)
+
+  let sched_point ~op kind =
+    if !running then Engine.suspend (fun k -> A_point (op, kind, k))
+
+  let block_on ~op w =
+    if !running then Engine.suspend (fun k -> A_block (op, w, k))
+    else failwith "Mp_check: blocking operation outside run"
+
+  (* ---- platform modules --------------------------------------------- *)
+
+  module Kont = struct
+    type 'a cont = 'a Engine.cont
+
+    let callcc = Engine.callcc
+    let throw = Engine.throw
+    let throw_exn = Engine.throw_exn
+  end
+
+  module Telemetry = Mp.Mp_intf.Telemetry_of (struct
+    let handle =
+      Obs.Telemetry.create ~stream_of:(fun () -> !cur) ~now_ts:(fun () -> !nsteps) ()
+  end)
+
+  module Lock = struct
+    type mutex_lock = lock
+
+    let mutex_lock () =
+      let l = { lid = fresh_id (); held = false } in
+      register_reset (fun () -> l.held <- false);
+      l
+
+    let lbl what l = Printf.sprintf "lock.%s L%d" what l.lid
+
+    let try_lock l =
+      if not !running then
+        if l.held then false
+        else begin
+          l.held <- true;
+          true
+        end
+      else begin
+        sched_point ~op:(lbl "try" l) K_plain;
+        if l.held then begin
+          incr spins;
+          false
+        end
+        else if pct_fault !current_faults.Check_intf.try_lock_fail_pct n_try_lock
+        then begin
+          incr spins;
+          false
+        end
+        else begin
+          l.held <- true;
+          true
+        end
+      end
+
+    (* Acquisition blocks on the lock rather than spinning: the proc is
+       enabled exactly when the lock is free, and resuming it is atomic
+       with the re-check-and-set, so every acquisition order is explored
+       without unbounded spin schedules.  (The spinning algorithms are
+       still explored — via the lock functors over [Prims].) *)
+    let rec lock l =
+      if not !running then
+        if l.held then failwith "Mp_check.Lock.lock: lock held outside run"
+        else l.held <- true
+      else begin
+        block_on ~op:(lbl "acquire" l) (W_lock l);
+        if l.held then lock l else l.held <- true
+      end
+
+    let unlock l =
+      if not !running then l.held <- false
+      else begin
+        sched_point ~op:(lbl "release" l) K_plain;
+        l.held <- false
+      end
+
+    let locked l f =
+      lock l;
+      match f () with
+      | v ->
+          unlock l;
+          v
+      | exception e ->
+          unlock l;
+          raise e
+  end
+
+  (* Instrumented atomic cells, shared by [Prims] and [Catomic]. *)
+  module Cell = struct
+    type 'a t = { cid : int; mutable v : 'a }
+
+    let lbl what c = Printf.sprintf "cell.%s c%d" what c.cid
+
+    let make v0 =
+      let c = { cid = fresh_id (); v = v0 } in
+      register_reset (fun () -> c.v <- v0);
+      c
+
+    let get c =
+      sched_point ~op:(lbl "get" c) K_plain;
+      c.v
+
+    let set c x =
+      sched_point ~op:(lbl "set" c) K_plain;
+      c.v <- x
+
+    let exchange c x =
+      sched_point ~op:(lbl "xchg" c) K_plain;
+      let old = c.v in
+      c.v <- x;
+      old
+
+    let compare_and_set c expected x =
+      sched_point ~op:(lbl "cas" c) K_plain;
+      if c.v == expected then begin
+        c.v <- x;
+        true
+      end
+      else false
+
+    let fetch_and_add c n =
+      sched_point ~op:(lbl "faa" c) K_plain;
+      let old = c.v in
+      c.v <- old + n;
+      old
+  end
+
+  module Prims = struct
+    type 'a cell = 'a Cell.t
+
+    let make = Cell.make
+    let get = Cell.get
+    let set = Cell.set
+    let exchange = Cell.exchange
+    let compare_and_set = Cell.compare_and_set
+    let fetch_and_add = Cell.fetch_and_add
+    let pause () = sched_point ~op:"spin.pause" K_yield
+
+    let pause_n _n =
+      sched_point ~op:"spin.backoff" K_yield;
+      for _ = 1 to !current_faults.Check_intf.backoff_boost do
+        sched_point ~op:"spin.backoff+" K_yield
+      done
+
+    let on_spin () = incr spins
+  end
+
+  module Catomic = struct
+    type 'a t = 'a Cell.t
+
+    let make = Cell.make
+    let get = Cell.get
+    let set = Cell.set
+    let exchange = Cell.exchange
+    let compare_and_set = Cell.compare_and_set
+    let fetch_and_add = Cell.fetch_and_add
+  end
+
+  module Proc = struct
+    type proc_datum = D.t
+    type proc_state = PS of unit Engine.cont * proc_datum
+
+    exception No_More_Procs = Mp.Mp_intf.No_More_Procs
+
+    let self () = !cur
+    let max_procs () = n_procs
+
+    let live_procs () =
+      Array.fold_left (fun n p -> if p.state = Free then n else n + 1) 0 procs
+
+    let acquire_proc (PS (k, d)) =
+      sched_point ~op:"proc.acquire" K_plain;
+      incr n_acquire;
+      (match !current_faults.Check_intf.fail_acquire_at with
+      | Some n when n = !n_acquire -> raise No_More_Procs
+      | _ -> ());
+      let rec find i =
+        if i >= n_procs then raise No_More_Procs
+        else if procs.(i).state = Free then procs.(i)
+        else find (i + 1)
+      in
+      let p = find 0 in
+      p.state <- Ready;
+      p.pending <- Some (Engine.Resume (k, ()));
+      p.wait <- None;
+      p.yielded <- false;
+      p.op <- Printf.sprintf "proc.start p%d" p.id;
+      p.datum <- d
+
+    let release_proc () =
+      sched_point ~op:"proc.release" K_plain;
+      Engine.suspend (fun _ -> Engine.Stop)
+
+    let initial_datum = D.initial
+    let get_datum () = procs.(!cur).datum
+    let set_datum d = procs.(!cur).datum <- d
+  end
+
+  module Work = struct
+    let hook = ref (fun () -> ())
+    let step ?alloc_words:_ ~instrs:_ () = ()
+    let charge _ = ()
+    let alloc ~words:_ = ()
+    let traffic ~bytes:_ = ()
+
+    let poll () =
+      sched_point ~op:"work.poll" K_plain;
+      !hook ()
+
+    let set_poll_hook f = hook := f
+    let idle () = sched_point ~op:"work.idle" K_yield
+
+    let idle_until ~ready =
+      if not (ready ()) then block_on ~op:"work.idle_until" (W_pred ready)
+
+    let now () = float_of_int !nsteps *. 0.001
+  end
+
+  let spawn f =
+    Proc.acquire_proc
+      (Proc.PS
+         ( Mp.Kont_util.cont_of_thunk
+             ~on_return:(fun () -> Proc.release_proc ())
+             f,
+           D.initial ))
+
+  (* ---- the exploration loop ----------------------------------------- *)
+
+  (* Run a proc's pending action to its next serialization point.  [Start]
+     (fresh fibers, including callcc bodies), [Resume] and [Raise] (throw)
+     are control transfers WITHIN the slice — they are how the engine's
+     trampoline works — so they are interpreted inline, not as decisions. *)
+  let rec interp ~on_exn action =
+    match action with
+    | Engine.Start f -> interp ~on_exn (Engine.run_fiber ~on_exn f)
+    | Engine.Resume (c, v) -> interp ~on_exn (Engine.resume c v)
+    | Engine.Raise (c, e) -> interp ~on_exn (Engine.resume_exn c e)
+    | Engine.Stop -> `Stop
+    | A_point (op, kind, k) -> `Point (op, kind, k)
+    | A_block (op, w, k) -> `Block (op, w, k)
+    | _ -> raise Engine.Unhandled_action
+
+  let exec_slice p =
+    cur := p.id;
+    p.yielded <- false;
+    let action =
+      match p.pending with
+      | Some a -> a
+      | None -> invalid_arg "Mp_check: scheduled a proc with nothing to run"
+    in
+    p.pending <- None;
+    if p.state = Blocked then begin
+      p.state <- Ready;
+      p.wait <- None
+    end;
+    let on_exn e =
+      if !failed = None then failed := Some e;
+      Engine.Stop
+    in
+    match interp ~on_exn action with
+    | `Stop -> p.state <- Free
+    | `Point (op, kind, k) ->
+        p.pending <- Some (Engine.Resume (k, ()));
+        p.op <- op;
+        p.state <- Ready;
+        p.yielded <- kind = K_yield
+    | `Block (op, w, k) ->
+        p.pending <- Some (Engine.Resume (k, ()));
+        p.op <- op;
+        p.state <- Blocked;
+        p.wait <- Some w
+
+  let is_enabled p =
+    match p.state with
+    | Free -> false
+    | Ready -> true
+    | Blocked -> (
+        match p.wait with
+        | Some (W_lock l) -> not l.held
+        | Some (W_pred f) -> f ()
+        | None -> false)
+
+  (* Enabled procs, restricted for fairness: while any non-yielded proc is
+     enabled, procs whose last point was a yield (spin-wait pauses) are not
+     offered — the CHESS fair-scheduler rule that keeps spin loops from
+     generating unbounded schedules.  When only yielded procs remain they
+     are all offered (someone has to run). *)
+  let choice_set () =
+    let en = ref [] in
+    for i = n_procs - 1 downto 0 do
+      if is_enabled procs.(i) then en := i :: !en
+    done;
+    match List.filter (fun i -> not procs.(i).yielded) !en with
+    | [] -> Array.of_list !en
+    | preferred -> Array.of_list preferred
+
+  (* Non-preemptive default: keep running the previous proc while it can
+     continue; otherwise round-robin to the next enabled proc.  Under this
+     policy alone a run costs zero preemptions, so the preemption count of
+     any explored schedule is exactly its number of forced switches. *)
+  let default_choice choices =
+    let prev = !last_chosen in
+    let prev_continuable =
+      prev >= 0 && procs.(prev).state = Ready && not procs.(prev).yielded
+    in
+    if prev_continuable && Array.exists (fun i -> i = prev) choices then prev
+    else begin
+      let best = ref (-1) in
+      Array.iter
+        (fun i -> if i > prev && (!best = -1 || i < !best) then best := i)
+        choices;
+      if !best >= 0 then !best else Array.fold_left min choices.(0) choices
+    end
+
+  let reset_run_state () =
+    Array.iter
+      (fun p ->
+        p.state <- Free;
+        p.pending <- None;
+        p.wait <- None;
+        p.datum <- D.initial;
+        p.yielded <- false;
+        p.op <- "start")
+      procs;
+    List.iter (fun f -> f ()) !persistent_resets;
+    run_ids := 1_000_000;
+    Work.hook := (fun () -> ());
+    cur := 0;
+    nsteps := 0;
+    failed := None;
+    decisions_rev := [];
+    preempts := 0;
+    last_chosen := -1;
+    truncated := false;
+    n_try_lock := 0;
+    n_acquire := 0
+
+  let run f =
+    if !running then invalid_arg "Mp_check.run: already running";
+    reset_run_state ();
+    running := true;
+    let result = ref None in
+    let p0 = procs.(0) in
+    p0.state <- Ready;
+    p0.pending <- Some (Engine.Start (fun () -> result := Some (f ())));
+    p0.op <- "root.start";
+    Fun.protect
+      ~finally:(fun () -> running := false)
+      (fun () ->
+        let rec loop () =
+          if Option.is_some !failed then ()
+          else begin
+            let choices = choice_set () in
+            if Array.length choices = 0 then begin
+              if Proc.live_procs () > 0 then
+                failed :=
+                  Some
+                    (Mp.Mp_intf.Deadlock
+                       (Printf.sprintf
+                          "mp_check: no enabled proc at decision %d (%d procs \
+                           still live)"
+                          !nsteps (Proc.live_procs ())))
+            end
+            else if !nsteps >= !current_max_steps then begin
+              (if Sys.getenv_opt "MP_CHECK_DEBUG" <> None then
+                 let tail =
+                   List.filteri (fun i _ -> i < 24) !decisions_rev
+                 in
+                 List.iteri
+                   (fun i d ->
+                     Printf.eprintf "  -%02d p%d %s\n%!" i d.d_chosen d.d_op)
+                   tail);
+              truncated := true;
+              failed := Some Truncated
+            end
+            else begin
+              let default = default_choice choices in
+              let chosen = !current_policy ~step:!nsteps ~choices ~default in
+              (* a forced proc that is not enabled here (shrunk schedule
+                 from a diverged universe) falls back to the default *)
+              let chosen =
+                if Array.exists (fun i -> i = chosen) choices then chosen
+                else default
+              in
+              let prev = !last_chosen in
+              let prev_continuable =
+                prev >= 0 && procs.(prev).state = Ready
+                && not procs.(prev).yielded
+              in
+              decisions_rev :=
+                {
+                  d_choices = choices;
+                  d_chosen = chosen;
+                  d_prev = prev;
+                  d_prev_continuable = prev_continuable;
+                  d_preempts_before = !preempts;
+                  d_op = procs.(chosen).op;
+                  d_stutter =
+                    Array.for_all (fun i -> procs.(i).yielded) choices;
+                }
+                :: !decisions_rev;
+              if prev_continuable && chosen <> prev then incr preempts;
+              last_chosen := chosen;
+              incr nsteps;
+              (try exec_slice procs.(chosen)
+               with e -> if !failed = None then failed := Some e);
+              loop ()
+            end
+          end
+        in
+        loop ();
+        match (!failed, !result) with
+        | Some e, _ -> raise e
+        | None, Some v -> v
+        | None, None ->
+            raise
+              (Mp.Mp_intf.Deadlock
+                 "mp_check: all procs released without producing a result"))
+
+  let stats () =
+    let t = Mp.Stats.zero ~platform:name ~procs:n_procs in
+    t.per_proc.(0).lock_spins <- !spins;
+    { t with elapsed = Work.now () }
+
+  let reset_stats () = spins := 0
+
+  (* ---- exploration drivers ------------------------------------------ *)
+
+  module Explore = struct
+    let decisions () = Array.of_list (List.rev !decisions_rev)
+
+    let forced_policy forced : policy =
+     fun ~step ~choices:_ ~default ->
+      if step < Array.length forced then forced.(step) else default
+
+    (* [body] is a scenario thunk that itself calls [run] exactly once. *)
+    let run_one ~policy ~faults ~max_steps body =
+      decisions_rev := [];
+      truncated := false;
+      current_policy := policy;
+      current_faults := faults;
+      current_max_steps := max_steps;
+      let err = (try body (); None with e -> Some e) in
+      current_policy := default_only;
+      (err, decisions (), !truncated)
+
+    let schedule_of ds = Array.to_list (Array.map (fun d -> d.d_chosen) ds)
+
+    let trace_of ds =
+      Array.to_list
+        (Array.mapi
+           (fun i d -> Obs.Event.Step { proc = d.d_chosen; clock = i; op = d.d_op })
+           ds)
+
+    (* Shrink a failing schedule: first bisect to a shortest failing
+       prefix (the default-policy suffix usually reproduces), then drop
+       single decisions to a fixpoint.  Every candidate is verified by
+       replay before being adopted, so divergence under removal (forced
+       choices reinterpreted positionally, with default fallback) can only
+       cost us minimality, never soundness. *)
+    let shrink ~faults ~max_steps body error0 schedule0 =
+      let attempts = ref 0 in
+      let budget = 400 in
+      let last_fail = ref None in
+      let fails sched =
+        !attempts < budget
+        && begin
+             incr attempts;
+             let err, ds, _ =
+               run_one
+                 ~policy:(forced_policy (Array.of_list sched))
+                 ~faults ~max_steps body
+             in
+             match err with
+             | Some Truncated | None -> false
+             | Some e ->
+                 last_fail := Some (e, ds);
+                 true
+           end
+      in
+      let current = ref schedule0 in
+      if fails [] then current := []
+      else begin
+        let arr = Array.of_list schedule0 in
+        let lo = ref 0 and hi = ref (Array.length arr) in
+        while !lo < !hi do
+          let mid = (!lo + !hi) / 2 in
+          if fails (Array.to_list (Array.sub arr 0 mid)) then hi := mid
+          else lo := mid + 1
+        done;
+        if !hi < Array.length arr then
+          current := Array.to_list (Array.sub arr 0 !hi);
+        let changed = ref true in
+        while !changed && !attempts < budget do
+          changed := false;
+          let i = ref (List.length !current - 1) in
+          while !i >= 0 && !attempts < budget do
+            let cand = List.filteri (fun j _ -> j <> !i) !current in
+            if fails cand then begin
+              current := cand;
+              changed := true
+            end;
+            decr i
+          done
+        done
+      end;
+      (* canonical replay of the minimum for its error and trace *)
+      let err, ds, _ =
+        run_one
+          ~policy:(forced_policy (Array.of_list !current))
+          ~faults ~max_steps body
+      in
+      match err with
+      | Some Truncated | None -> (
+          match !last_fail with
+          | Some (e, ds) -> (e, !current, trace_of ds)
+          | None -> (error0, !current, trace_of ds))
+      | Some e -> (e, !current, trace_of ds)
+
+    let dfs ?(bound = 2) ?(max_schedules = 20_000) ?(max_steps = 10_000)
+        ?(faults = Check_intf.no_faults) ?(stop = fun () -> false) body =
+      (* Frontier items share the parent run's decision array instead of
+         materializing a prefix list each: (base, split, alt) forces
+         base.(0..split-1) then alt then the default policy.  Keeps the
+         frontier O(1) words per pending schedule — the frontier for a
+         branchy scenario holds hundreds of thousands of items. *)
+      let policy_of base split alt : policy =
+       fun ~step ~choices:_ ~default ->
+        if step < split then base.(step)
+        else if step = split && alt >= 0 then alt
+        else default
+      in
+      let stack = ref [ ([||], 0, -1) ] in
+      let schedules = ref 0 in
+      let truncs = ref 0 in
+      let capped = ref false in
+      let failure = ref None in
+      while Option.is_none !failure && !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (base, split, alt) :: rest ->
+            stack := rest;
+            if !schedules >= max_schedules || stop () then begin
+              capped := true;
+              stack := []
+            end
+            else begin
+              incr schedules;
+              let forced_len = if alt < 0 then 0 else split + 1 in
+              let err, ds, _ =
+                run_one ~policy:(policy_of base split alt) ~faults ~max_steps
+                  body
+              in
+              match err with
+              | Some Truncated -> incr truncs
+              | Some e ->
+                  let error, schedule, trace =
+                    shrink ~faults ~max_steps body e (schedule_of ds)
+                  in
+                  failure := Some { error; schedule; seed = None; trace }
+              | None ->
+                  (* Expand alternatives at decisions beyond the forced
+                     prefix (earlier ones were expanded by ancestors).  An
+                     alternative's preemption cost is the prefix's count
+                     plus one iff taking it switches away from a proc that
+                     could have continued. *)
+                  let chosen = Array.map (fun d -> d.d_chosen) ds in
+                  for i = Array.length ds - 1 downto forced_len do
+                    let d = ds.(i) in
+                    if not d.d_stutter then
+                      Array.iter
+                        (fun a ->
+                          if a <> d.d_chosen then begin
+                            let cost =
+                              d.d_preempts_before
+                              + if d.d_prev_continuable && a <> d.d_prev then 1
+                                else 0
+                            in
+                            if cost <= bound then
+                              stack := (chosen, i, a) :: !stack
+                          end)
+                        d.d_choices
+                  done
+            end
+      done;
+      {
+        schedules = !schedules;
+        truncated = !truncs;
+        capped = !capped;
+        failure = !failure;
+      }
+
+    let random ?seed ?(runs = 500) ?(max_steps = 10_000)
+        ?(faults = Check_intf.no_faults) body =
+      let base, runs =
+        match Sys.getenv_opt "MP_CHECK_SEED" with
+        | Some s -> (Sched_seed.of_string s, 1)
+        | None ->
+            ((match seed with Some s -> s | None -> Sched_seed.default), runs)
+      in
+      let failure = ref None in
+      let truncs = ref 0 in
+      let n = ref 0 in
+      (try
+         for i = 0 to runs - 1 do
+           let rseed = Sched_seed.derive base i in
+           let state = ref rseed in
+           let policy : policy =
+            fun ~step:_ ~choices ~default:_ ->
+             choices.(Sched_seed.bounded state (Array.length choices))
+           in
+           incr n;
+           let err, ds, _ = run_one ~policy ~faults ~max_steps body in
+           match err with
+           | None -> ()
+           | Some Truncated -> incr truncs
+           | Some e ->
+               let error, schedule, trace =
+                 shrink ~faults ~max_steps body e (schedule_of ds)
+               in
+               failure :=
+                 Some
+                   {
+                     error;
+                     schedule;
+                     seed = Some (Sched_seed.to_string rseed);
+                     trace;
+                   };
+               raise Exit
+         done
+       with Exit -> ());
+      {
+        schedules = !n;
+        truncated = !truncs;
+        capped = false;
+        failure = !failure;
+      }
+
+    let replay ~schedule ?(max_steps = 10_000) ?(faults = Check_intf.no_faults)
+        body =
+      let err, ds, _ =
+        run_one
+          ~policy:(forced_policy (Array.of_list schedule))
+          ~faults ~max_steps body
+      in
+      match err with
+      | None | Some Truncated -> None
+      | Some e ->
+          Some { error = e; schedule; seed = None; trace = trace_of ds }
+  end
+end
+
+module Int (C : sig
+  val max_procs : int
+end) () =
+  Make (C) (Mp.Mp_intf.Int_datum)

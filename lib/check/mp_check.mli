@@ -1,0 +1,121 @@
+(** Controlled-concurrency schedule exploration for the MP platform.
+
+    [Mp_check] is a fourth platform backend whose scheduler is the test
+    harness: every visible operation — lock acquire/try/release, atomic-cell
+    access in the queue family, proc acquire/release, [Work] safe points —
+    suspends the running fiber at a {e serialization point}, and a
+    single-threaded exploration loop decides which proc performs its pending
+    operation next.  Client code (locks over [Prims], queues over [Catomic],
+    and the thread/sync/select/CML packages over the [PLATFORM] itself) runs
+    unmodified; between two serialization points a proc executes atomically,
+    so the set of explored interleavings is exactly the set of orderings of
+    visible operations.
+
+    Three exploration modes (see {!S.Explore}): exhaustive DFS under an
+    iterative preemption bound (CHESS-style), random-schedule fuzzing from a
+    printable 64-bit seed with [MP_CHECK_SEED] replay, and either combined
+    with fault injection ({!Check_intf.faults}).  A failing run is shrunk to
+    a minimal forced schedule and rendered as an [Obs] event trace. *)
+
+exception Truncated
+(** A run exceeded the per-run step budget ([max_steps]).  Truncated runs
+    are counted, not treated as failures: they signal livelock or a budget
+    set too low, and exploration of that branch is incomplete. *)
+
+type failure = {
+  error : exn;  (** the exception that escaped the failing run *)
+  schedule : int list;
+      (** minimal forced schedule: the proc to run at decision 0, 1, …;
+          decisions beyond the list follow the default (non-preemptive)
+          policy.  Feed it back through {!S.Explore.replay}. *)
+  seed : string option;
+      (** printable seed of the failing run (random mode only); replay with
+          [MP_CHECK_SEED=<seed>]. *)
+  trace : Obs.Event.t list;
+      (** the minimal counterexample, one {!Obs.Event.Step} per decision. *)
+}
+
+type report = {
+  schedules : int;  (** runs performed *)
+  truncated : int;  (** runs abandoned at the step budget *)
+  capped : bool;  (** DFS stopped at [max_schedules] with work remaining *)
+  failure : failure option;  (** first failure found, shrunk *)
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+(** Multi-line rendering: exception, seed/replay hint, forced schedule, and
+    the per-decision Obs trace. *)
+
+(** What a checkable platform instance provides beyond [PLATFORM]. *)
+module type S = sig
+  include Mp.Mp_intf.PLATFORM
+
+  module Prims : Locks.Lock_intf.PRIMS
+  (** Instrumented atomic cells for the lock-algorithm functors: every
+      [get]/[set]/[exchange]/[compare_and_set]/[fetch_and_add] is a
+      serialization point; [pause]/[pause_n] are yield points, which is how
+      spin loops stay fair (and finite) under exploration. *)
+
+  module Catomic : Queues.Queue_intf.ATOMIC
+  (** The same instrumented cells under the queue family's [ATOMIC]
+      signature, for [Ws_deque.Make]. *)
+
+  val spawn : (unit -> unit) -> unit
+  (** Acquire a free proc and run the thunk on it, releasing the proc when
+      the thunk returns.  The caller continues immediately.
+      @raise Mp.Mp_intf.No_More_Procs when the pool is exhausted. *)
+
+  module Explore : sig
+    val dfs :
+      ?bound:int ->
+      ?max_schedules:int ->
+      ?max_steps:int ->
+      ?faults:Check_intf.faults ->
+      ?stop:(unit -> bool) ->
+      (unit -> unit) ->
+      report
+    (** Exhaustive DFS over schedules with at most [bound] preemptions
+        (default 2).  A preemption is a context switch away from a proc
+        that could have continued (not blocked, not at a yield point);
+        switches at blocking and yield points are free, so the default
+        policy runs each proc to its next voluntary release and the bound
+        counts only the forced interleavings — the CHESS observation that
+        most concurrency bugs need very few preemptions.  The body must be
+        a self-contained scenario that calls [run] exactly once.
+        Exploration stops at the first failure, which is shrunk.  [stop]
+        is polled between schedules; returning [true] abandons the rest of
+        the space and marks the report [capped] (wall-clock budgets live in
+        the caller so the library stays deterministic by default). *)
+
+    val random :
+      ?seed:int64 ->
+      ?runs:int ->
+      ?max_steps:int ->
+      ?faults:Check_intf.faults ->
+      (unit -> unit) ->
+      report
+    (** Random-schedule fuzzing: [runs] runs (default 500), the [i]-th
+        driven by [Sched_seed.derive seed i].  When the [MP_CHECK_SEED]
+        environment variable is set it overrides [seed] and forces a single
+        run — the replay path for a seed printed by a previous failure. *)
+
+    val replay :
+      schedule:int list ->
+      ?max_steps:int ->
+      ?faults:Check_intf.faults ->
+      (unit -> unit) ->
+      failure option
+    (** Re-run one forced schedule (a {!failure.schedule}); [Some] a fresh
+        failure record (unshrunk) if it still fails.  Deterministic: the
+        same schedule and faults always yield the same outcome and trace. *)
+  end
+end
+
+module Make (C : sig
+  val max_procs : int
+end) (D : Mp.Mp_intf.DATUM) : S with type Proc.proc_datum = D.t
+
+module Int (C : sig
+  val max_procs : int
+end) () : S with type Proc.proc_datum = int
+(** Generative: each application is an independent checker instance. *)

@@ -1,0 +1,378 @@
+(* The scenario corpus.  Conventions:
+
+   - Every body calls [C.run] exactly once and instantiates any stateful
+     client functor (thread scheduler, sync package, select, CML) INSIDE
+     the run body, so each explored schedule starts from virgin state and
+     traces replay identically.
+
+   - Invariants are checked with [fail]/[check] rather than [assert] so a
+     counterexample names the violated property.
+
+   - Mutual-exclusion checks put a [C.Work.poll ()] inside the critical
+     section: the check variable is incremented, the poll suspends the
+     proc at a serialization point while it is "inside", and any second
+     entrant observes the overlap.  Without a visible point inside the
+     section the whole critical section would execute atomically and no
+     schedule could witness a broken lock. *)
+
+module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
+  let fail fmt = Printf.ksprintf failwith fmt
+  let check b fmt = if b then Printf.ksprintf ignore fmt else fail fmt
+
+  (* Wait until every proc but the root has been released. *)
+  let join () = C.Work.idle_until ~ready:(fun () -> C.Proc.live_procs () = 1)
+
+  (* ---- lock algorithms over the instrumented primitives -------------- *)
+
+  module T_tas = Locks.Tas_lock.Make (C.Prims)
+  module T_ttas = Locks.Ttas_lock.Make (C.Prims)
+  module T_backoff = Locks.Backoff_lock.Make (C.Prims)
+  module T_ticket = Locks.Ticket_lock.Make (C.Prims)
+  module T_clh = Locks.Clh_lock.Make (C.Prims)
+  module T_anderson = Locks.Anderson_lock.Make (C.Prims)
+  module T_mcs = Locks.Mcs_lock.Make (C.Prims)
+  module T_hwpool = Locks.Hwpool_lock.Make (C.Prims)
+  module T_rw = Locks.Rw_spin_lock.Make (C.Prims)
+
+  (* A deliberately broken test-and-set lock: the test and the set are two
+     separate visible operations, so two procs can both read "free" and
+     both enter.  Used only by [broken] — the harness must catch it. *)
+  module Broken_tas = struct
+    type mutex_lock = bool C.Prims.cell
+
+    let mutex_lock () = C.Prims.make false
+
+    let try_lock l =
+      if C.Prims.get l then false
+      else begin
+        C.Prims.set l true;
+        true
+      end
+
+    let rec lock l =
+      if not (try_lock l) then begin
+        C.Prims.on_spin ();
+        C.Prims.pause ();
+        lock l
+      end
+
+    let unlock l = C.Prims.set l false
+
+    let locked l f = Locks.Lock_intf.locked_default ~lock ~unlock l f
+  end
+
+  let mutex_scenario (module L : Mp.Mp_intf.LOCK) () =
+    C.run (fun () ->
+        let l = L.mutex_lock () in
+        let in_cs = ref 0 in
+        let overlap = ref false in
+        let crit () =
+          L.lock l;
+          incr in_cs;
+          if !in_cs > 1 then overlap := true;
+          C.Work.poll ();
+          decr in_cs;
+          L.unlock l
+        in
+        C.spawn crit;
+        crit ();
+        join ();
+        check (not !overlap) "mutual exclusion violated";
+        check (L.try_lock l) "lock still held after both sections";
+        L.unlock l)
+
+  let rw_scenario () =
+    C.run (fun () ->
+        let l = T_rw.create () in
+        let writers = ref 0 in
+        let readers = ref 0 in
+        let bad = ref None in
+        C.spawn (fun () ->
+            T_rw.write_lock l;
+            incr writers;
+            if !writers > 1 then bad := Some "two writers"
+            else if !readers > 0 then bad := Some "writer beside reader";
+            C.Work.poll ();
+            decr writers;
+            T_rw.write_unlock l);
+        T_rw.read_lock l;
+        incr readers;
+        if !writers > 0 then bad := Some "reader beside writer";
+        C.Work.poll ();
+        decr readers;
+        T_rw.read_unlock l;
+        join ();
+        match !bad with None -> () | Some what -> fail "rw_spin: %s" what)
+
+  (* ---- queue family --------------------------------------------------- *)
+
+  let ws_deque_scenario () =
+    C.run (fun () ->
+        let module WS = Queues.Ws_deque.Make (C.Catomic) in
+        let d = WS.create () in
+        let stolen = ref [] in
+        let popped = ref [] in
+        C.spawn (fun () ->
+            for _ = 1 to 3 do
+              match WS.steal d with
+              | Some v -> stolen := v :: !stolen
+              | None -> ()
+            done);
+        WS.push d 1;
+        WS.push d 2;
+        WS.push d 3;
+        (match WS.pop d with Some v -> popped := v :: !popped | None -> ());
+        (match WS.pop d with Some v -> popped := v :: !popped | None -> ());
+        join ();
+        let rec drain () =
+          match WS.pop d with
+          | Some v ->
+              popped := v :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        let got = List.sort compare (!stolen @ !popped) in
+        check
+          (List.length got = List.length (List.sort_uniq compare got))
+          "ws_deque: element returned twice";
+        check (got = [ 1; 2; 3 ]) "ws_deque: lost or invented an element")
+
+  let multi_queue_scenario () =
+    C.run (fun () ->
+        let module MQ = Queues.Multi_queue.Make (T_tas) in
+        let q = MQ.create ~procs:2 in
+        let got = ref [] in
+        C.spawn (fun () ->
+            MQ.push q ~proc:1 10;
+            MQ.push q ~proc:1 11;
+            match MQ.take q ~proc:1 with
+            | Some v -> got := v :: !got
+            | None -> ());
+        MQ.push q ~proc:0 20;
+        (match MQ.take q ~proc:0 with Some v -> got := v :: !got | None -> ());
+        join ();
+        let rec drain () =
+          match MQ.take q ~proc:0 with
+          | Some v ->
+              got := v :: !got;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        check
+          (List.sort compare !got = [ 10; 11; 20 ])
+          "multi_queue: lost, invented or duplicated an element")
+
+  (* Capacity 1 and two items keep the space exhaustively explorable while
+     still forcing both retry paths: the producer blocks on a full queue
+     (item 2 cannot enqueue until item 1 is consumed) and the consumer
+     blocks on an empty one. *)
+  let bounded_queue_scenario () =
+    C.run (fun () ->
+        let module L = T_ttas in
+        let q = Queues.Bounded_queue.create ~capacity:1 in
+        let l = L.mutex_lock () in
+        let got = ref [] in
+        let push v =
+          let rec go () =
+            if not (L.locked l (fun () -> Queues.Bounded_queue.try_enq q v))
+            then begin
+              C.Work.idle ();
+              go ()
+            end
+          in
+          go ()
+        in
+        let pop () =
+          let rec go () =
+            match L.locked l (fun () -> Queues.Bounded_queue.deq_opt q) with
+            | Some v -> v
+            | None ->
+                C.Work.idle ();
+                go ()
+          in
+          go ()
+        in
+        C.spawn (fun () ->
+            push 1;
+            push 2);
+        got := pop () :: !got;
+        got := pop () :: !got;
+        join ();
+        check
+          (List.rev !got = [ 1; 2 ])
+          "bounded_queue: FIFO order or content violated")
+
+  (* ---- a minimal scheduler for the thread-level packages -------------- *)
+
+  (* Proc-per-thread scheduler with NO internal serialization points: the
+     ready queue is a plain [Queue.t] mutated only between visible points
+     (slices are atomic), so the decisions explored are exactly those of
+     the package under test, not of the scheduler scaffolding.  Must be
+     instantiated inside the run body (fresh queue per schedule). *)
+  module Tiny () : Mpthreads.Thread_intf.TIMED_SCHED = struct
+    let ready : (unit -> unit) Queue.t = Queue.create ()
+    let fork f = C.spawn f
+    let id () = C.Proc.self ()
+    let yield () = C.Work.poll ()
+    let reschedule (k, _id) = Queue.push (fun () -> Mp.Engine.throw k ()) ready
+
+    let reschedule_thread (k, v, _id) =
+      Queue.push (fun () -> Mp.Engine.throw k v) ready
+
+    let dispatch () =
+      C.Work.idle_until ~ready:(fun () -> not (Queue.is_empty ready));
+      (Queue.pop ready) ();
+      assert false
+
+    let now () = C.Work.now ()
+    let at _t _f = failwith "Scenarios.Tiny.at: timers not supported"
+  end
+
+  (* ---- sync constructs ------------------------------------------------ *)
+
+  let sync_ivar_scenario () =
+    C.run (fun () ->
+        let module TS = Tiny () in
+        let module Sy = Mpsync.Sync.Make (C) (TS) in
+        let iv = Sy.Ivar.create () in
+        let got = ref (-1) in
+        TS.fork (fun () -> got := Sy.Ivar.read iv);
+        Sy.Ivar.fill iv 42;
+        join ();
+        check (!got = 42) "ivar: reader saw %d, not 42" !got)
+
+  let sync_mvar_scenario () =
+    C.run (fun () ->
+        let module TS = Tiny () in
+        let module Sy = Mpsync.Sync.Make (C) (TS) in
+        let mv = Sy.Mvar.create () in
+        let got = ref [] in
+        TS.fork (fun () ->
+            Sy.Mvar.put mv 1;
+            Sy.Mvar.put mv 2);
+        got := Sy.Mvar.take mv :: !got;
+        got := Sy.Mvar.take mv :: !got;
+        join ();
+        check (List.rev !got = [ 1; 2 ]) "mvar: takes out of order or lost")
+
+  let sync_semaphore_scenario () =
+    C.run (fun () ->
+        let module TS = Tiny () in
+        let module Sy = Mpsync.Sync.Make (C) (TS) in
+        let sem = Sy.Semaphore.create 1 in
+        let in_cs = ref 0 in
+        let overlap = ref false in
+        let crit () =
+          Sy.Semaphore.acquire sem;
+          incr in_cs;
+          if !in_cs > 1 then overlap := true;
+          C.Work.poll ();
+          decr in_cs;
+          Sy.Semaphore.release sem
+        in
+        TS.fork crit;
+        crit ();
+        join ();
+        check (not !overlap) "semaphore: exclusion violated";
+        check (Sy.Semaphore.value sem = 1) "semaphore: final value <> 1")
+
+  (* ---- selective communication and CML -------------------------------- *)
+
+  let select_scenario () =
+    C.run (fun () ->
+        let module TS = Tiny () in
+        let module Sel = Select.Make (C) (TS) (Queues.Fifo_queue) in
+        let c1 : int Sel.chan = Sel.chan () in
+        let c2 : int Sel.chan = Sel.chan () in
+        let got = ref (-1) in
+        TS.fork (fun () -> Sel.send (c1, 7));
+        got := Sel.receive [ c2; c1 ];
+        join ();
+        check (!got = 7) "select: received %d, not 7" !got)
+
+  let cml_rendezvous_scenario () =
+    C.run (fun () ->
+        let module TS = Tiny () in
+        let module M = Cml.Make (C) (TS) in
+        let ch = M.channel () in
+        let got = ref (-1) in
+        M.spawn (fun () -> M.send ch 9);
+        got := M.recv ch;
+        join ();
+        check (!got = 9) "cml: received %d, not 9" !got)
+
+  let cml_choose_scenario () =
+    C.run (fun () ->
+        let module TS = Tiny () in
+        let module M = Cml.Make (C) (TS) in
+        let a = M.channel () in
+        let b = M.channel () in
+        let got = ref (-1) in
+        M.spawn (fun () -> M.send b 5);
+        got := M.select [ M.recv_evt a; M.recv_evt b ];
+        join ();
+        check (!got = 5) "cml: choice delivered %d, not 5" !got)
+
+  (* ---- proc-pool contract --------------------------------------------- *)
+
+  let proc_pool_scenario () =
+    C.run (fun () ->
+        C.Proc.set_datum 17;
+        check (C.Proc.get_datum () = 17) "proc: datum round-trip failed";
+        let release = ref false in
+        let spawned = ref 0 in
+        let exhausted = ref false in
+        (try
+           for _ = 1 to C.Proc.max_procs () do
+             C.spawn (fun () ->
+                 C.Work.idle_until ~ready:(fun () -> !release));
+             incr spawned
+           done
+         with Mp.Mp_intf.No_More_Procs -> exhausted := true);
+        check
+          (!spawned = C.Proc.max_procs () - 1)
+          "proc: %d spawns succeeded on a pool of %d" !spawned
+          (C.Proc.max_procs ());
+        check !exhausted "proc: pool exhaustion did not raise No_More_Procs";
+        release := true;
+        join ();
+        check (C.Proc.get_datum () = 17) "proc: datum clobbered by spawns")
+
+  (* ---- the full thread package (heavy) -------------------------------- *)
+
+  let threads_scenario () =
+    C.run (fun () ->
+        let module S = Mpthreads.Sched_thread.Make (C) in
+        let hits = ref 0 in
+        S.with_pool ~procs:2 ~quantum:1e6 (fun () ->
+            S.fork_join [ (fun () -> incr hits); (fun () -> incr hits) ]);
+        check (!hits = 2) "threads: fork_join lost a task")
+
+  let all =
+    [
+      ("lock_tas", mutex_scenario (module T_tas));
+      ("lock_ttas", mutex_scenario (module T_ttas));
+      ("lock_backoff", mutex_scenario (module T_backoff));
+      ("lock_ticket", mutex_scenario (module T_ticket));
+      ("lock_clh", mutex_scenario (module T_clh));
+      ("lock_anderson", mutex_scenario (module T_anderson));
+      ("lock_mcs", mutex_scenario (module T_mcs));
+      ("lock_hwpool", mutex_scenario (module T_hwpool));
+      ("lock_rw_spin", rw_scenario);
+      ("queue_ws_deque", ws_deque_scenario);
+      ("queue_multi", multi_queue_scenario);
+      ("queue_bounded", bounded_queue_scenario);
+      ("sync_ivar", sync_ivar_scenario);
+      ("sync_mvar", sync_mvar_scenario);
+      ("sync_semaphore", sync_semaphore_scenario);
+      ("select_rendezvous", select_scenario);
+      ("cml_rendezvous", cml_rendezvous_scenario);
+      ("cml_choose", cml_choose_scenario);
+      ("proc_pool", proc_pool_scenario);
+    ]
+
+  let heavy = [ ("threads_pool", threads_scenario) ]
+  let broken = [ ("broken_tas", mutex_scenario (module Broken_tas)) ]
+end

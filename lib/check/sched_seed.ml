@@ -1,0 +1,35 @@
+(* splitmix64 (Steele, Lea & Flood) — the standard seeding generator: one
+   addition and three xor-shift-multiply rounds per draw, full 2^64 period,
+   and any two distinct seeds give independent streams, which is what lets
+   [derive] hand each run of a batch its own printable seed. *)
+
+type t = int64
+
+let default = 0x5EED_AC1D_0001_CAFEL
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next state =
+  let s = Int64.add !state golden in
+  state := s;
+  mix s
+
+let derive base i =
+  if i = 0 then base else mix (Int64.add base (Int64.mul golden (Int64.of_int i)))
+
+let bounded state n =
+  if n <= 0 then invalid_arg "Sched_seed.bounded";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next state) 1) (Int64.of_int n))
+
+let hash2 seed k = mix (Int64.add seed (Int64.mul golden (Int64.of_int (k + 1))))
+
+let to_string s = Printf.sprintf "0x%016Lx" s
+
+let of_string str =
+  match Int64.of_string_opt str with
+  | Some s -> s
+  | None -> failwith (Printf.sprintf "Sched_seed.of_string: %S" str)

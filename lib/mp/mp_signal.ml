@@ -6,9 +6,12 @@ module Make (P : Mp_intf.PLATFORM) = struct
   let handlers : (signal -> unit) option array = Array.make max_signals None
 
   (* Per-proc masks and pending flags.  Each proc reads and clears only its
-     own row; [deliver] (any proc) sets pending bits, so those are atomic. *)
+     own row; [deliver] (any proc) sets pending bits, so those are atomic.
+     Masks are counted, not boolean: [mask]/[unmask] pairs nest, so a
+     handler (or library code called under a mask) may mask again without
+     clobbering its caller's mask. *)
   let procs = P.Proc.max_procs ()
-  let masks = Array.make_matrix procs max_signals false
+  let masks = Array.make_matrix procs max_signals 0
   let pending_flags = Array.init procs (fun _ -> Array.init max_signals (fun _ -> Atomic.make false))
 
   let check_signal s =
@@ -22,15 +25,17 @@ module Make (P : Mp_intf.PLATFORM) = struct
 
   let mask s =
     check_signal s;
-    masks.(P.Proc.self ()).(s) <- true
+    let row = masks.(P.Proc.self ()) in
+    row.(s) <- row.(s) + 1
 
   let unmask s =
     check_signal s;
-    masks.(P.Proc.self ()).(s) <- false
+    let row = masks.(P.Proc.self ()) in
+    row.(s) <- max 0 (row.(s) - 1)
 
   let is_masked s =
     check_signal s;
-    masks.(P.Proc.self ()).(s)
+    masks.(P.Proc.self ()).(s) > 0
 
   let deliver_to ~proc s =
     check_signal s;
@@ -56,7 +61,7 @@ module Make (P : Mp_intf.PLATFORM) = struct
     for s = 0 to max_signals - 1 do
       if
         Atomic.get pending_flags.(me).(s)
-        && (not masks.(me).(s))
+        && masks.(me).(s) = 0
         && Atomic.compare_and_set pending_flags.(me).(s) true false
       then begin
         P.Lock.lock table_lock;
@@ -71,7 +76,7 @@ module Make (P : Mp_intf.PLATFORM) = struct
     Array.fill handlers 0 max_signals None;
     P.Lock.unlock table_lock;
     for p = 0 to procs - 1 do
-      Array.fill masks.(p) 0 max_signals false;
+      Array.fill masks.(p) 0 max_signals 0;
       for s = 0 to max_signals - 1 do
         Atomic.set pending_flags.(p).(s) false
       done

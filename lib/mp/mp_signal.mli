@@ -22,9 +22,13 @@ module Make (P : Mp_intf.PLATFORM) : sig
 
   val mask : signal -> unit
   (** Block delivery of [signal] on the calling proc; deliveries stay
-      pending. *)
+      pending.  Masks count: [mask]/[unmask] pairs nest, so a handler or
+      library routine may mask a signal its caller already masked without
+      unmasking it on exit. *)
 
   val unmask : signal -> unit
+  (** Undo one [mask]; delivery resumes when the count reaches zero. *)
+
   val is_masked : signal -> bool
 
   val deliver : signal -> unit

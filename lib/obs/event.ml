@@ -24,6 +24,7 @@ type t =
   | Lock_contended of { proc : int; clock : int; spins : int }
   | Blocked of { proc : int; clock : int; thread : int; on : string }
   | Wakeup of { proc : int; clock : int; thread : int; on : string }
+  | Step of { proc : int; clock : int; op : string }
 
 let clock_of = function
   | Dispatch { clock; _ }
@@ -39,7 +40,8 @@ let clock_of = function
   | Lock_acquired { clock; _ }
   | Lock_contended { clock; _ }
   | Blocked { clock; _ }
-  | Wakeup { clock; _ } ->
+  | Wakeup { clock; _ }
+  | Step { clock; _ } ->
       clock
 
 (* Blocked/Wakeup events carry their subsystem in [on]; the category is
@@ -57,6 +59,9 @@ let category_of = function
   | Gc_start _ | Gc_end _ -> Gc
   | Lock_acquired _ | Lock_contended _ -> Lock
   | Blocked { on; _ } | Wakeup { on; _ } -> site_category on
+  | Step { op; _ } ->
+      if String.length op >= 4 && String.sub op 0 4 = "lock" then Lock
+      else Sched
 
 let pp fmt = function
   | Dispatch { proc; clock } -> Format.fprintf fmt "%10d dispatch p%d" clock proc
@@ -85,6 +90,8 @@ let pp fmt = function
       Format.fprintf fmt "%10d block    p%d t%d on %s" clock proc thread on
   | Wakeup { proc; clock; thread; on } ->
       Format.fprintf fmt "%10d wakeup   p%d t%d on %s" clock proc thread on
+  | Step { proc; clock; op } ->
+      Format.fprintf fmt "%10d step     p%d %s" clock proc op
 
 let to_json e =
   let head name =
@@ -123,3 +130,5 @@ let to_json e =
   | Wakeup { proc; thread; on; _ } ->
       Printf.sprintf "%s,\"proc\":%d,\"thread\":%d,\"on\":%S}" (head "wakeup")
         proc thread on
+  | Step { proc; op; _ } ->
+      Printf.sprintf "%s,\"proc\":%d,\"op\":%S}" (head "step") proc op

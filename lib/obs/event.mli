@@ -40,6 +40,11 @@ type t =
       (** [thread] parked its continuation on construct [on] *)
   | Wakeup of { proc : int; clock : int; thread : int; on : string }
       (** [thread] was made ready again by construct [on] *)
+  | Step of { proc : int; clock : int; op : string }
+      (** one serialization point in an [mp_check] exploration: [proc]
+          performed visible operation [op] at decision index [clock].
+          Classified [Lock] when [op] starts with "lock", [Sched]
+          otherwise. *)
 
 val clock_of : t -> int
 

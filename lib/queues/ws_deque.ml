@@ -2,69 +2,78 @@
    thieves via CAS), [bottom] the owner's end.  The circular buffer grows
    by copying; stale buffers are reclaimed by the GC.  Elements are stored
    as [Obj.t] so the buffer can be shared across grows without an initial
-   dummy of type 'a. *)
+   dummy of type 'a.
 
-type buffer = { log_size : int; segment : Obj.t array }
+   The algorithm is a functor over the atomic cells it races on
+   ([Queue_intf.ATOMIC]) so the same text runs both over [Stdlib.Atomic]
+   (the default instance below) and over the mp_check harness's
+   instrumented cells, where every get/set/CAS is a serialization point. *)
 
-let buffer_make log_size = { log_size; segment = Array.make (1 lsl log_size) (Obj.repr ()) }
-let buffer_get b i = b.segment.(i land ((1 lsl b.log_size) - 1))
-let buffer_set b i v = b.segment.(i land ((1 lsl b.log_size) - 1)) <- v
+module Make (A : Queue_intf.ATOMIC) = struct
+  type buffer = { log_size : int; segment : Obj.t array }
 
-type 'a t = {
-  top : int Atomic.t;
-  bottom : int Atomic.t;
-  buf : buffer Atomic.t;
-}
+  let buffer_make log_size =
+    { log_size; segment = Array.make (1 lsl log_size) (Obj.repr ()) }
 
-let create () =
-  { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (buffer_make 4) }
+  let buffer_get b i = b.segment.(i land ((1 lsl b.log_size) - 1))
+  let buffer_set b i v = b.segment.(i land ((1 lsl b.log_size) - 1)) <- v
 
-let size t = max 0 (Atomic.get t.bottom - Atomic.get t.top)
+  type 'a t = { top : int A.t; bottom : int A.t; buf : buffer A.t }
 
-let grow t b bot top =
-  let bigger = buffer_make (b.log_size + 1) in
-  for i = top to bot - 1 do
-    buffer_set bigger i (buffer_get b i)
-  done;
-  Atomic.set t.buf bigger;
-  bigger
+  let create () =
+    { top = A.make 0; bottom = A.make 0; buf = A.make (buffer_make 4) }
 
-let push t v =
-  let bot = Atomic.get t.bottom in
-  let top = Atomic.get t.top in
-  let b = Atomic.get t.buf in
-  let b = if bot - top >= (1 lsl b.log_size) - 1 then grow t b bot top else b in
-  buffer_set b bot (Obj.repr v);
-  (* publish the element before publishing the new bottom *)
-  Atomic.set t.bottom (bot + 1)
+  let size t = max 0 (A.get t.bottom - A.get t.top)
 
-let pop (type a) (t : a t) : a option =
-  let bot = Atomic.get t.bottom - 1 in
-  let b = Atomic.get t.buf in
-  Atomic.set t.bottom bot;
-  let top = Atomic.get t.top in
-  if bot < top then begin
-    (* empty: restore *)
-    Atomic.set t.bottom top;
-    None
-  end
-  else begin
-    let v : a = Obj.obj (buffer_get b bot) in
-    if bot > top then Some v
-    else begin
-      (* last element: race with thieves via CAS on top *)
-      let won = Atomic.compare_and_set t.top top (top + 1) in
-      Atomic.set t.bottom (top + 1);
-      if won then Some v else None
+  let grow t b bot top =
+    let bigger = buffer_make (b.log_size + 1) in
+    for i = top to bot - 1 do
+      buffer_set bigger i (buffer_get b i)
+    done;
+    A.set t.buf bigger;
+    bigger
+
+  let push t v =
+    let bot = A.get t.bottom in
+    let top = A.get t.top in
+    let b = A.get t.buf in
+    let b =
+      if bot - top >= (1 lsl b.log_size) - 1 then grow t b bot top else b
+    in
+    buffer_set b bot (Obj.repr v);
+    (* publish the element before publishing the new bottom *)
+    A.set t.bottom (bot + 1)
+
+  let pop (type a) (t : a t) : a option =
+    let bot = A.get t.bottom - 1 in
+    let b = A.get t.buf in
+    A.set t.bottom bot;
+    let top = A.get t.top in
+    if bot < top then begin
+      (* empty: restore *)
+      A.set t.bottom top;
+      None
     end
-  end
+    else begin
+      let v : a = Obj.obj (buffer_get b bot) in
+      if bot > top then Some v
+      else begin
+        (* last element: race with thieves via CAS on top *)
+        let won = A.compare_and_set t.top top (top + 1) in
+        A.set t.bottom (top + 1);
+        if won then Some v else None
+      end
+    end
 
-let steal (type a) (t : a t) : a option =
-  let top = Atomic.get t.top in
-  let bot = Atomic.get t.bottom in
-  if bot <= top then None
-  else begin
-    let b = Atomic.get t.buf in
-    let v : a = Obj.obj (buffer_get b top) in
-    if Atomic.compare_and_set t.top top (top + 1) then Some v else None
-  end
+  let steal (type a) (t : a t) : a option =
+    let top = A.get t.top in
+    let bot = A.get t.bottom in
+    if bot <= top then None
+    else begin
+      let b = A.get t.buf in
+      let v : a = Obj.obj (buffer_get b top) in
+      if A.compare_and_set t.top top (top + 1) then Some v else None
+    end
+end
+
+include Make (Queue_intf.Stdlib_atomic)

@@ -1,11 +1,36 @@
 (** Lock-free Chase–Lev work-stealing deque (Chase & Lev, SPAA 2005).
 
     Single-owner/multi-thief: only the owning proc may [push]/[pop] (LIFO
-    end); any proc may [steal] (FIFO end).  Built on [Atomic] with a
+    end); any proc may [steal] (FIFO end).  Built on atomic cells with a
     growable circular buffer; the paper-era alternative to the
     lock-protected deques of {!Multi_queue}, provided for the real-domains
     backend where lock-free stealing avoids a bus transaction per empty
-    probe. *)
+    probe.
+
+    The algorithm is a functor over {!Queue_intf.ATOMIC} so the identical
+    text runs over [Stdlib.Atomic] (the default instance exposed below) and
+    over the [mp_check] harness's instrumented cells, whose every access is
+    a schedule-exploration serialization point. *)
+
+module Make (A : Queue_intf.ATOMIC) : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val push : 'a t -> 'a -> unit
+  (** Owner only. *)
+
+  val pop : 'a t -> 'a option
+  (** Owner only: newest element. *)
+
+  val steal : 'a t -> 'a option
+  (** Any thread: oldest element; [None] when empty or a race was lost. *)
+
+  val size : 'a t -> int
+  (** Racy snapshot of the number of elements. *)
+end
+
+(** The default instance over [Stdlib.Atomic]. *)
 
 type 'a t
 

@@ -30,6 +30,7 @@ type event = Obs.Event.t =
   | Lock_contended of { proc : int; clock : int; spins : int }
   | Blocked of { proc : int; clock : int; thread : int; on : string }
   | Wakeup of { proc : int; clock : int; thread : int; on : string }
+  | Step of { proc : int; clock : int; op : string }
 
 type t = Obs.Event.t Obs.Ring.t
 

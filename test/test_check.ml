@@ -1,0 +1,240 @@
+(* Tests for the mp_check exploration harness (lib/check).
+
+   The harness's own guarantees are what is under test here: exhaustive
+   bound-2 exploration keeps every scenario in the corpus green, the
+   deliberately broken lock is caught and shrunk to a short readable trace,
+   forced schedules and printed seeds replay deterministically, and fault
+   injection steers the platform the way the knobs promise. *)
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+module P = Mpcheck.Mp_check.Int (struct
+  let max_procs = 2
+end) ()
+
+module S = Mpcheck.Scenarios.Make (P)
+
+let broken_body = List.assoc "broken_tas" S.broken
+
+let render_failure (f : Mpcheck.Mp_check.failure) =
+  Format.asprintf "%a" Mpcheck.Mp_check.pp_failure f
+
+(* ---- exhaustive exploration over the corpus --------------------------- *)
+
+let test_all_scenarios_bound2 () =
+  List.iter
+    (fun (name, body) ->
+      let r = P.Explore.dfs ~bound:2 ~max_schedules:30_000 body in
+      (match r.Mpcheck.Mp_check.failure with
+      | None -> ()
+      | Some f ->
+          Alcotest.failf "scenario %s failed:@.%s" name (render_failure f));
+      checkb (name ^ ": not capped") false r.Mpcheck.Mp_check.capped;
+      checki (name ^ ": no truncated runs") 0 r.Mpcheck.Mp_check.truncated;
+      checkb (name ^ ": explored > 1 schedule") true
+        (r.Mpcheck.Mp_check.schedules > 1))
+    S.all
+
+(* ---- the self-test: a broken lock must be caught ---------------------- *)
+
+let test_broken_tas_caught () =
+  let r = P.Explore.dfs ~bound:2 ~max_schedules:30_000 broken_body in
+  match r.Mpcheck.Mp_check.failure with
+  | None -> Alcotest.fail "broken TAS not caught at bound 2"
+  | Some f ->
+      checkb "shrunk schedule is short" true
+        (List.length f.Mpcheck.Mp_check.schedule <= 40);
+      checkb "trace is non-empty" true (f.Mpcheck.Mp_check.trace <> []);
+      (* the rendered counterexample names the racy operations *)
+      let s = render_failure f in
+      let mentions sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        go 0
+      in
+      checkb "trace shows cell ops" true (mentions "cell.")
+
+let test_deadlock_detected () =
+  let body () =
+    P.run (fun () ->
+        let a = P.Lock.mutex_lock () and b = P.Lock.mutex_lock () in
+        P.spawn (fun () ->
+            P.Lock.lock a;
+            P.Work.poll ();
+            P.Lock.lock b;
+            P.Lock.unlock b;
+            P.Lock.unlock a);
+        P.Lock.lock b;
+        P.Work.poll ();
+        P.Lock.lock a;
+        P.Lock.unlock a;
+        P.Lock.unlock b;
+        P.Work.idle_until ~ready:(fun () -> P.Proc.live_procs () = 1))
+  in
+  let r = P.Explore.dfs ~bound:2 ~max_schedules:30_000 body in
+  match r.Mpcheck.Mp_check.failure with
+  | Some { error = Mp.Mp_intf.Deadlock _; _ } -> ()
+  | Some f ->
+      Alcotest.failf "expected Deadlock, got:@.%s" (render_failure f)
+  | None -> Alcotest.fail "AB-BA deadlock not detected"
+
+(* ---- deterministic replay --------------------------------------------- *)
+
+let test_replay_deterministic () =
+  let r = P.Explore.dfs ~bound:2 ~max_schedules:30_000 broken_body in
+  let f =
+    match r.Mpcheck.Mp_check.failure with
+    | Some f -> f
+    | None -> Alcotest.fail "broken TAS not caught"
+  in
+  let sched = f.Mpcheck.Mp_check.schedule in
+  let replay () =
+    match P.Explore.replay ~schedule:sched broken_body with
+    | Some f -> render_failure f
+    | None -> Alcotest.fail "shrunk schedule did not replay to a failure"
+  in
+  let a = replay () and b = replay () in
+  check Alcotest.string "two replays render identically" a b
+
+(* ---- random mode and seed replay -------------------------------------- *)
+
+let test_random_finds_broken_tas () =
+  let r =
+    P.Explore.random ~seed:Mpcheck.Sched_seed.default ~runs:3_000 broken_body
+  in
+  let f =
+    match r.Mpcheck.Mp_check.failure with
+    | Some f -> f
+    | None -> Alcotest.fail "random fuzzing (3000 runs) missed the broken TAS"
+  in
+  let seed =
+    match f.Mpcheck.Mp_check.seed with
+    | Some s -> s
+    | None -> Alcotest.fail "random failure carries no seed"
+  in
+  (* the printed seed replays to a failure in a single run *)
+  let r2 =
+    P.Explore.random ~seed:(Mpcheck.Sched_seed.of_string seed) ~runs:1
+      broken_body
+  in
+  checkb "seed replays the failure" true
+    (r2.Mpcheck.Mp_check.failure <> None);
+  checki "replay is a single run" 1 r2.Mpcheck.Mp_check.schedules;
+  (* MP_CHECK_SEED overrides the programmatic seed and forces one run.
+     putenv cannot be undone, so this stays the last random-mode check. *)
+  Unix.putenv "MP_CHECK_SEED" seed;
+  let r3 = P.Explore.random ~runs:500 broken_body in
+  Unix.putenv "MP_CHECK_SEED" "";
+  checkb "MP_CHECK_SEED replays the failure" true
+    (r3.Mpcheck.Mp_check.failure <> None);
+  checki "MP_CHECK_SEED forces a single run" 1 r3.Mpcheck.Mp_check.schedules
+
+(* ---- fault injection -------------------------------------------------- *)
+
+let test_fault_acquire () =
+  let body () =
+    P.run (fun () ->
+        match P.spawn (fun () -> ()) with
+        | () -> failwith "expected No_More_Procs from fault injection"
+        | exception Mp.Mp_intf.No_More_Procs -> ())
+  in
+  let faults =
+    { Mpcheck.Check_intf.no_faults with fail_acquire_at = Some 1 }
+  in
+  let r = P.Explore.dfs ~bound:1 ~max_schedules:1_000 ~faults body in
+  (match r.Mpcheck.Mp_check.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "acquire fault not injected:@.%s" (render_failure f));
+  (* without the fault the same body must fail (spawn succeeds) *)
+  let r2 = P.Explore.dfs ~bound:1 ~max_schedules:1_000 body in
+  checkb "body fails when no fault is injected" true
+    (r2.Mpcheck.Mp_check.failure <> None)
+
+let test_fault_try_lock () =
+  let body () =
+    P.run (fun () ->
+        let l = P.Lock.mutex_lock () in
+        if P.Lock.try_lock l then
+          failwith "try_lock succeeded under 100% fault injection")
+  in
+  let faults =
+    { Mpcheck.Check_intf.no_faults with try_lock_fail_pct = 100 }
+  in
+  let r = P.Explore.dfs ~bound:1 ~max_schedules:1_000 ~faults body in
+  (match r.Mpcheck.Mp_check.failure with
+  | None -> ()
+  | Some f ->
+      Alcotest.failf "try_lock fault not injected:@.%s" (render_failure f));
+  let r2 = P.Explore.dfs ~bound:1 ~max_schedules:1_000 body in
+  checkb "try_lock succeeds when no fault is injected" true
+    (r2.Mpcheck.Mp_check.failure <> None)
+
+(* ---- a wider platform instance ---------------------------------------- *)
+
+module P3 = Mpcheck.Mp_check.Int (struct
+  let max_procs = 3
+end) ()
+
+let test_three_procs_mutex () =
+  let body () =
+    P3.run (fun () ->
+        let l = P3.Lock.mutex_lock () in
+        let in_cs = ref 0 and overlap = ref false in
+        let crit () =
+          P3.Lock.lock l;
+          incr in_cs;
+          if !in_cs > 1 then overlap := true;
+          P3.Work.poll ();
+          decr in_cs;
+          P3.Lock.unlock l
+        in
+        P3.spawn crit;
+        P3.spawn crit;
+        crit ();
+        P3.Work.idle_until ~ready:(fun () -> P3.Proc.live_procs () = 1);
+        if !overlap then failwith "three procs overlapped in the critical section")
+  in
+  let r = P3.Explore.dfs ~bound:1 ~max_schedules:30_000 body in
+  (match r.Mpcheck.Mp_check.failure with
+  | None -> ()
+  | Some f -> Alcotest.failf "3-proc mutex failed:@.%s" (render_failure f));
+  checkb "3-proc space explored without cap" false r.Mpcheck.Mp_check.capped
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "dfs",
+        [
+          Alcotest.test_case "all scenarios green at bound 2" `Slow
+            test_all_scenarios_bound2;
+          Alcotest.test_case "broken TAS caught and shrunk" `Quick
+            test_broken_tas_caught;
+          Alcotest.test_case "AB-BA deadlock detected" `Quick
+            test_deadlock_detected;
+        ] );
+      ( "replay",
+        [
+          Alcotest.test_case "forced schedule replays deterministically"
+            `Quick test_replay_deterministic;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "fail_acquire_at injects No_More_Procs" `Quick
+            test_fault_acquire;
+          Alcotest.test_case "try_lock_fail_pct=100 starves try_lock" `Quick
+            test_fault_try_lock;
+        ] );
+      ( "procs3",
+        [
+          Alcotest.test_case "3-proc mutual exclusion at bound 1" `Quick
+            test_three_procs_mutex;
+        ] );
+      ( "random",
+        [
+          Alcotest.test_case "fuzzing finds the broken TAS; seed replays"
+            `Quick test_random_finds_broken_tas;
+        ] );
+    ]

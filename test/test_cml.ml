@@ -454,7 +454,7 @@ let prop_wrap_distributes_over_choose =
           in
           List.mem v1 expected && List.mem v2 expected)
 
-let qt = QCheck_alcotest.to_alcotest
+let qt = Testkit.to_alcotest
 
 let () =
   Alcotest.run "cml"

@@ -330,6 +330,213 @@ let test_sig_deliver_to_one () =
       Sig.poll ();
       check "targeted delivery" 1 !hits)
 
+(* ---------------- continuation plumbing ---------------- *)
+
+let test_kont_cont_of_thunk_order () =
+  U.run (fun () ->
+      let log = ref [] in
+      Engine.callcc (fun k ->
+          let w =
+            Kont_util.cont_of_thunk
+              ~on_return:(fun () -> Engine.throw k ())
+              (fun () -> log := "ran" :: !log)
+          in
+          log := "made" :: !log;
+          Engine.throw w ());
+      Alcotest.(check (list string))
+        "thunk runs only when thrown to" [ "ran"; "made" ] !log)
+
+let test_kont_one_shot_reuse () =
+  U.run (fun () ->
+      let saved = ref None in
+      Engine.callcc (fun k ->
+          let w =
+            Kont_util.cont_of_thunk
+              ~on_return:(fun () -> Engine.throw k ())
+              (fun () -> ())
+          in
+          saved := Some w;
+          Engine.throw w ());
+      match !saved with
+      | None -> Alcotest.fail "no continuation captured"
+      | Some w ->
+          (* [resume] claims the one-shot continuation synchronously;
+             [throw] would surface the same error via the scheduler *)
+          checkb "second resume raises Already_resumed" true
+            (match Engine.resume w () with
+            | _ -> false
+            | exception Engine.Already_resumed -> true))
+
+(* ---------------- counted (nesting) signal masks ---------------- *)
+
+let test_sig_mask_nesting () =
+  Sig.reset ();
+  U.run (fun () ->
+      let hits = ref 0 in
+      Sig.install 6 (Some (fun _ -> incr hits));
+      Sig.mask 6;
+      Sig.mask 6;
+      Sig.unmask 6;
+      checkb "still masked after one of two unmasks" true (Sig.is_masked 6);
+      Sig.deliver 6;
+      Sig.poll ();
+      check "nested mask defers delivery" 0 !hits;
+      Sig.unmask 6;
+      checkb "unmasked when the count reaches zero" false (Sig.is_masked 6);
+      Sig.poll ();
+      check "deferred signal delivered" 1 !hits;
+      Sig.unmask 6;
+      checkb "unmask floors at zero" false (Sig.is_masked 6))
+
+(* ---------------- backend conformance ----------------
+
+   One functor, instantiated for every PLATFORM implementation in the
+   repo: the portable subset of the proc/lock/stats contracts that any
+   backend — preemptive (domains), uniprocessor, simulated, or the
+   exploration checker — must satisfy.  All waiting goes through
+   [Work.idle_until] so the same code is correct under true parallelism
+   and under cooperative scheduling. *)
+
+module Conformance (P : Mp_intf.PLATFORM with type Proc.proc_datum = int) =
+struct
+  let spawn_worker ?(datum = 0) body =
+    P.Proc.acquire_proc
+      (P.Proc.PS
+         (Kont_util.cont_of_thunk ~on_return:P.Proc.release_proc body, datum))
+
+  let join () = P.Work.idle_until ~ready:(fun () -> P.Proc.live_procs () = 1)
+
+  let test_identity () =
+    P.run (fun () ->
+        check "root is proc 0" 0 (P.Proc.self ());
+        checkb "max_procs positive" true (P.Proc.max_procs () >= 1);
+        check "one live proc at start" 1 (P.Proc.live_procs ()))
+
+  let test_datum_roundtrip () =
+    let v =
+      P.run (fun () ->
+          P.Proc.set_datum 41;
+          P.Proc.get_datum () + 1)
+    in
+    check "root datum round trip" 42 v
+
+  let test_worker_datum () =
+    (* needs a spare proc; trivially true on a uniprocessor *)
+    if P.run (fun () -> P.Proc.max_procs ()) > 1 then begin
+      let v =
+        P.run (fun () ->
+            P.Proc.set_datum 100;
+            let got = Atomic.make (-1) in
+            spawn_worker ~datum:42 (fun () ->
+                Atomic.set got (P.Proc.get_datum ()));
+            P.Work.idle_until ~ready:(fun () -> Atomic.get got >= 0);
+            join ();
+            (P.Proc.get_datum (), Atomic.get got))
+      in
+      Alcotest.(check (pair int int)) "data are per-proc" (100, 42) v
+    end
+
+  let test_exhaustion () =
+    checkb "pool exhausts after max_procs - 1 workers" true
+      (P.run (fun () ->
+           let spare = P.Proc.max_procs () - 1 in
+           let release = Atomic.make false in
+           let started = Atomic.make 0 in
+           let acquired = ref 0 in
+           (try
+              for _ = 1 to spare + 1 do
+                spawn_worker (fun () ->
+                    Atomic.incr started;
+                    P.Work.idle_until ~ready:(fun () -> Atomic.get release));
+                incr acquired
+              done
+            with P.Proc.No_More_Procs -> ());
+           let limited = !acquired = spare in
+           Atomic.set release true;
+           join ();
+           limited && Atomic.get started = spare))
+
+  let test_lock_mutual_exclusion () =
+    let expected, got =
+      P.run (fun () ->
+          let iters = 200 in
+          let workers = min 2 (P.Proc.max_procs () - 1) in
+          let l = P.Lock.mutex_lock () in
+          let counter = ref 0 in
+          let body () =
+            for _ = 1 to iters do
+              P.Lock.lock l;
+              let c = !counter in
+              (* widen the race window: a visible step inside the section *)
+              P.Work.step ~instrs:1 ();
+              counter := c + 1;
+              P.Lock.unlock l
+            done
+          in
+          for _ = 1 to workers do
+            spawn_worker body
+          done;
+          body ();
+          join ();
+          ((workers + 1) * iters, !counter))
+    in
+    check "no lost updates under the platform lock" expected got
+
+  let test_try_lock_contract () =
+    P.run (fun () ->
+        let l = P.Lock.mutex_lock () in
+        checkb "free lock acquired" true (P.Lock.try_lock l);
+        checkb "held lock refused" false (P.Lock.try_lock l);
+        P.Lock.unlock l;
+        checkb "free again after unlock" true (P.Lock.try_lock l);
+        P.Lock.unlock l)
+
+  let test_stats_contract () =
+    P.reset_stats ();
+    ignore (P.run (fun () -> P.Work.step ~instrs:10 (); 0));
+    let st = P.stats () in
+    checkb "platform name non-empty" true (String.length st.Stats.platform > 0);
+    check "stats cover every proc" (Array.length st.Stats.per_proc)
+      st.Stats.procs;
+    checkb "elapsed non-negative" true (st.Stats.elapsed >= 0.)
+
+  let test_exceptions_and_reuse () =
+    Alcotest.check_raises "exception propagates" (Failure "boom") (fun () ->
+        ignore (P.run (fun () -> failwith "boom")));
+    check "platform reusable after failed run" 3 (P.run (fun () -> 3))
+
+  let suite =
+    [
+      Alcotest.test_case "identity" `Quick test_identity;
+      Alcotest.test_case "datum round trip" `Quick test_datum_roundtrip;
+      Alcotest.test_case "worker datum" `Quick test_worker_datum;
+      Alcotest.test_case "No_More_Procs on exhaustion" `Quick test_exhaustion;
+      Alcotest.test_case "lock mutual exclusion" `Quick
+        test_lock_mutual_exclusion;
+      Alcotest.test_case "try_lock contract" `Quick test_try_lock_contract;
+      Alcotest.test_case "stats contract" `Quick test_stats_contract;
+      Alcotest.test_case "exceptions and reuse" `Quick
+        test_exceptions_and_reuse;
+    ]
+end
+
+module Conf_uni = Conformance (U)
+module Conf_dom = Conformance (D)
+
+module Sim4 =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.sequent ~procs:4 ()
+    end)
+    ()
+
+module Conf_sim = Conformance (Sim4)
+
+module Check2 = Mpcheck.Mp_check.Int (struct
+  let max_procs = 2
+end) ()
+
+module Conf_check = Conformance (Check2)
+
 let () =
   Alcotest.run "mp"
     [
@@ -374,5 +581,17 @@ let () =
           Alcotest.test_case "broadcast to all procs" `Quick
             test_sig_broadcast_all_procs;
           Alcotest.test_case "deliver to one" `Quick test_sig_deliver_to_one;
+          Alcotest.test_case "mask nesting" `Quick test_sig_mask_nesting;
         ] );
+      ( "kont",
+        [
+          Alcotest.test_case "cont_of_thunk ordering" `Quick
+            test_kont_cont_of_thunk_order;
+          Alcotest.test_case "one-shot reuse raises" `Quick
+            test_kont_one_shot_reuse;
+        ] );
+      ("conformance:uniproc", Conf_uni.suite);
+      ("conformance:domains", Conf_dom.suite);
+      ("conformance:sim", Conf_sim.suite);
+      ("conformance:check", Conf_check.suite);
     ]

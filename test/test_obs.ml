@@ -236,7 +236,7 @@ let test_telemetry_merges_streams () =
     (List.map Obs.Event.clock_of (Obs.Telemetry.events t));
   check "all retained" 5 (Obs.Telemetry.total_recorded t)
 
-let qt = QCheck_alcotest.to_alcotest
+let qt = Testkit.to_alcotest
 
 let () =
   Alcotest.run "obs"

@@ -425,7 +425,7 @@ let prop_ws_four_domain_race =
       List.iter Domain.join thieves;
       Atomic.get sum = n * (n + 1) / 2 && Atomic.get consumed = n)
 
-let qsuite name tests = (name, List.map QCheck_alcotest.to_alcotest tests)
+let qsuite name tests = (name, List.map Testkit.to_alcotest tests)
 
 let () =
   Alcotest.run "queues"

@@ -529,7 +529,7 @@ let test_suspension_budget () =
   checkb "coalesced charges recorded" true (G.Machine.coalesced_charges () > 0);
   checkb "heap ops counted" true (G.Machine.heap_ops () >= 2 * decisions)
 
-let qt = QCheck_alcotest.to_alcotest
+let qt = Testkit.to_alcotest
 
 let prop_charge_sum =
   QCheck.Test.make ~name:"single proc: makespan = sum of charges" ~count:50

@@ -335,7 +335,7 @@ let test_speedup_exists () =
   let t4 = (P.stats ()).Mp.Stats.elapsed in
   checkb "4 procs at least 2x faster in virtual time" true (t1 /. t4 > 2.)
 
-let qt = QCheck_alcotest.to_alcotest
+let qt = Testkit.to_alcotest
 
 let () =
   Alcotest.run "workloads"

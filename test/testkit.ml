@@ -1,0 +1,33 @@
+(* Shared qcheck/alcotest glue.
+
+   Every property-based suite in the repo routes through [to_alcotest] so
+   that (a) all properties in a binary draw from one seed, (b) setting
+   QCHECK_SEED=<int> in the environment replays a run exactly, and (c) a
+   failing property prints the seed needed to replay it, right next to the
+   counterexample, instead of burying it in the preamble. *)
+
+let qcheck_seed =
+  match Sys.getenv_opt "QCHECK_SEED" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> n
+      | None ->
+          failwith (Printf.sprintf "QCHECK_SEED=%S is not an integer" s))
+  | None ->
+      Random.self_init ();
+      Random.int 1_000_000_000
+
+let to_alcotest ?speed_level test =
+  let name, speed, run =
+    QCheck_alcotest.to_alcotest ?speed_level
+      ~rand:(Random.State.make [| qcheck_seed |])
+      test
+  in
+  let run arg =
+    try run arg
+    with e ->
+      Printf.eprintf "[testkit] property %S failed; replay with QCHECK_SEED=%d\n%!"
+        name qcheck_seed;
+      raise e
+  in
+  (name, speed, run)
