@@ -2,12 +2,15 @@
    evaluation (sections E1-E7, see DESIGN.md) and runs Bechamel
    microbenchmarks of the thread/lock primitives (M1-M6).
 
-   Usage: dune exec bench/main.exe [-- --quick] [-- --json]
+   Usage: dune exec bench/main.exe [-- --quick] [-- --json] [-- --sched P]
    --quick runs a reduced proc sweep (1,4,16) for faster iteration.
    --json additionally writes BENCH_sim.json: host-time cost of the
    simulator core (seconds, scheduler decisions, effect-handler
    suspensions) per workload, for tracking sim-core performance across
-   changes. *)
+   changes.  The sim-core grid always sweeps an explicit scheduler axis
+   (distributed, fifo, ws), landing a per-policy dimension in the JSON;
+   --sched (or MP_REPRO_SCHED) selects the policy for the fig6/SGI
+   sweeps and the lock-scaling grid (default distributed). *)
 
 open Bechamel
 open Toolkit
@@ -274,7 +277,37 @@ let print_ablations () =
      work), 16 procs:@.";
   Report.Render.table fmt
     ~header:[ "bench"; "sequential GC"; "concurrent GC"; "gain" ]
-    ~rows:gc_rows
+    ~rows:gc_rows;
+  (* the scheduler family at 16 procs: central FIFO is the baseline work
+     stealing must beat on the irregular workloads *)
+  let family =
+    Mpthreads.Sched_policy.
+      [ Fifo; Lifo; Distributed; Ws; Micropools 4 ]
+  in
+  let time_sched sched bench =
+    ignore (BSeq.run_named ~sched bench ~procs:16);
+    (Seq16.stats ()).Mp.Stats.elapsed
+  in
+  let sched_rows =
+    List.map
+      (fun bench ->
+        let times = List.map (fun p -> time_sched p bench) family in
+        let fifo_t = List.nth times 0 in
+        bench
+        :: List.map (fun t -> Printf.sprintf "%.3fs" t) times
+        @ [
+            Printf.sprintf "ws %.2fx vs fifo"
+              (fifo_t /. List.nth times 3);
+          ])
+      [ "mm"; "allpairs"; "mst" ]
+  in
+  Format.fprintf fmt "@.scheduler family at 16 procs:@.";
+  Report.Render.table fmt
+    ~header:
+      ("bench"
+      :: List.map Mpthreads.Sched_policy.to_string family
+      @ [ "gain" ])
+    ~rows:sched_rows
 
 (* Lock algorithms under contention in virtual time: the Anderson (1990)
    comparison the paper cites for spin-lock alternatives, run with charged
@@ -288,10 +321,12 @@ let print_ablations () =
 let lock_scaling_names =
   [ "tas"; "ttas"; "backoff"; "ticket"; "anderson"; "clh"; "mcs" ]
 
-let lock_scaling_cell name =
+let lock_scaling_cell sched name =
   let module S =
     Sim.Mp_sim.Int (struct
-        let config = Sim.Sim_config.sequent ~procs:16 ()
+        let config =
+          Sim.Sim_config.sequent ~procs:16
+            ~sched:(Mpthreads.Sched_policy.to_string sched) ()
       end)
       ()
   in
@@ -311,7 +346,7 @@ let lock_scaling_cell name =
   in
   let contend procs =
     S.run (fun () ->
-        SS.with_pool ~procs (fun () ->
+        SS.with_pool ~procs ~sched (fun () ->
             let l = L.mutex_lock () in
             SS.par_iter ~chunks:procs (procs * 20) (fun _ ->
                 L.lock l;
@@ -334,14 +369,17 @@ let lock_scaling_cell name =
     string_of_int kb16;
   ]
 
-let print_lock_scaling ~jobs () =
+let print_lock_scaling ~jobs ~sched () =
   Report.Render.section fmt
-    "Lock scaling under contention (charged primitives, simulated Sequent; \
-     Anderson 1990, the paper's spin-lock reference)";
+    (Printf.sprintf
+       "Lock scaling under contention (charged primitives, simulated \
+        Sequent, %s scheduler; Anderson 1990, the paper's spin-lock \
+        reference)"
+       (Mpthreads.Sched_policy.to_string sched));
   Report.Render.table fmt
     ~header:
       [ "algorithm"; "us/cs @1"; "us/cs @16"; "bus KB @16 (probe traffic)" ]
-    ~rows:(Exec.Job_pool.map ~jobs lock_scaling_cell lock_scaling_names);
+    ~rows:(Exec.Job_pool.map ~jobs (lock_scaling_cell sched) lock_scaling_names);
   Format.fprintf fmt
     "@.(times are dominated by the serialized critical sections; the probe \
      mechanism shows in the bus column: every TAS probe is an RMW bus \
@@ -429,6 +467,7 @@ let print_sensitivity () =
 (* ------------------------------------------------------------------ *)
 
 type sim_core_row = {
+  sc_sched : string;
   sc_bench : string;
   sc_procs : int;
   sc_host : float;
@@ -444,17 +483,20 @@ type sim_core_row = {
    (the JSON keeps the dump of the grid's last cell, which is what the
    shared-instance driver effectively reported too, since machine
    counters are overwritten per run). *)
-let sim_core_cell (bench, procs) =
+let sim_core_cell (sched, bench, procs) =
   let module S =
     Sim.Mp_sim.Int (struct
-        let config = Sim.Sim_config.sequent ~procs:16 ()
+        let config = Sim.Sim_config.sequent ~procs:16 ~sched ()
       end)
       ()
   in
   let module B = Workloads.Bench_suite.Make (S) in
   let t0 = Sys.time () in
-  ignore (B.run_named bench ~procs);
+  ignore
+    (B.run_named ~sched:(Mpthreads.Sched_policy.of_string_exn sched) bench
+       ~procs);
   ( {
+      sc_sched = sched;
       sc_bench = bench;
       sc_procs = procs;
       sc_host = Sys.time () -. t0;
@@ -466,11 +508,20 @@ let sim_core_cell (bench, procs) =
     },
     Obs.Counters.dump S.Telemetry.counters )
 
+(* The sim-core grid's explicit scheduler axis: the historical default
+   first (so the table's leading block and its golden-pinned values read
+   unchanged), then the central-FIFO baseline and work stealing. *)
+let sim_core_scheds = [ "distributed"; "fifo"; "ws" ]
+
 let sim_core_rows ~jobs () =
   let cells =
     List.concat_map
-      (fun bench -> List.map (fun procs -> (bench, procs)) [ 1; 4; 16 ])
-      BSeq.names
+      (fun sched ->
+        List.concat_map
+          (fun bench ->
+            List.map (fun procs -> (sched, bench, procs)) [ 1; 4; 16 ])
+          BSeq.names)
+      sim_core_scheds
   in
   Exec.Job_pool.map ~jobs sim_core_cell cells
 
@@ -480,11 +531,15 @@ let print_sim_core rows =
      effect-handler suspensions, charges coalesced by run-ahead)";
   Report.Render.table fmt
     ~header:
-      [ "bench"; "procs"; "host s"; "decisions"; "suspensions"; "coalesced" ]
+      [
+        "sched"; "bench"; "procs"; "host s"; "decisions"; "suspensions";
+        "coalesced";
+      ]
     ~rows:
       (List.map
          (fun r ->
            [
+             r.sc_sched;
              r.sc_bench;
              string_of_int r.sc_procs;
              Printf.sprintf "%.4f" r.sc_host;
@@ -508,10 +563,13 @@ let write_sim_json rows counters path =
     Seq16.Machine.config.Sim.Sim_config.name;
   Printf.fprintf oc "  \"workloads\": [\n";
   let n = List.length rows in
-  (* Speedup of each cell vs the same workload's procs=1 makespan. *)
-  let makespan1 bench =
+  (* Speedup of each cell vs the same (workload, scheduler) procs=1
+     makespan, so the per-policy scaling curves are self-relative. *)
+  let makespan1 sched bench =
     match
-      List.find_opt (fun r -> r.sc_bench = bench && r.sc_procs = 1) rows
+      List.find_opt
+        (fun r -> r.sc_sched = sched && r.sc_bench = bench && r.sc_procs = 1)
+        rows
     with
     | Some r -> Some r.sc_makespan
     | None -> None
@@ -519,18 +577,18 @@ let write_sim_json rows counters path =
   List.iteri
     (fun i r ->
       let speedup =
-        match makespan1 r.sc_bench with
+        match makespan1 r.sc_sched r.sc_bench with
         | Some m1 when r.sc_makespan > 0 ->
             float_of_int m1 /. float_of_int r.sc_makespan
         | _ -> nan
       in
       Printf.fprintf oc
-        "    {\"name\": %S, \"procs\": %d, \"host_seconds\": %.6f, \
-         \"sched_decisions\": %d, \"suspensions\": %d, \
-         \"coalesced_charges\": %d, \"heap_ops\": %d, \"makespan_cycles\": \
-         %d, \"speedup\": %.4f}%s\n"
-        r.sc_bench r.sc_procs r.sc_host r.sc_decisions r.sc_susp r.sc_coalesced
-        r.sc_heap_ops r.sc_makespan speedup
+        "    {\"name\": %S, \"scheduler\": %S, \"procs\": %d, \
+         \"host_seconds\": %.6f, \"sched_decisions\": %d, \"suspensions\": \
+         %d, \"coalesced_charges\": %d, \"heap_ops\": %d, \
+         \"makespan_cycles\": %d, \"speedup\": %.4f}%s\n"
+        r.sc_bench r.sc_sched r.sc_procs r.sc_host r.sc_decisions r.sc_susp
+        r.sc_coalesced r.sc_heap_ops r.sc_makespan speedup
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
@@ -569,16 +627,32 @@ let parse_jobs argv =
     argv;
   Exec.Job_pool.resolve_jobs !explicit
 
+(* [--sched P] (or MP_REPRO_SCHED) selects the scheduling policy for the
+   fig6/SGI sweeps and the lock-scaling grid; the sim-core grid always
+   sweeps its own explicit scheduler axis. *)
+let parse_sched argv =
+  let explicit = ref None in
+  Array.iteri
+    (fun i a ->
+      if a = "--sched" && i + 1 < Array.length argv then
+        explicit := Some argv.(i + 1))
+    argv;
+  Mpthreads.Sched_policy.resolve ?explicit:!explicit ()
+
 let () =
   let quick = Array.exists (fun a -> a = "--quick") Sys.argv in
   let json = Array.exists (fun a -> a = "--json") Sys.argv in
   let jobs = parse_jobs Sys.argv in
+  let sched = parse_sched Sys.argv in
+  let sched_str = Mpthreads.Sched_policy.to_string sched in
   let plist = if quick then Some [ 1; 4; 16 ] else None in
   Format.fprintf fmt
-    "Procs and Locks reproduction -- benchmark harness (%s sweep, %d job%s)@."
+    "Procs and Locks reproduction -- benchmark harness (%s sweep, %d job%s, \
+     %s scheduler)@."
     (if quick then "quick" else "full")
     jobs
-    (if jobs = 1 then "" else "s");
+    (if jobs = 1 then "" else "s")
+    sched_str;
   let sim_cells = sim_core_rows ~jobs () in
   let sim_rows = List.map fst sim_cells in
   let last_counters =
@@ -589,19 +663,21 @@ let () =
   run_micro ();
   Report.Experiments.print_lock_latency fmt;
   Report.Experiments.print_portability fmt;
-  let samples = Report.Experiments.sequent_sweep ?plist ~jobs () in
+  let samples =
+    Report.Experiments.sequent_sweep ?plist ~jobs ~sched:sched_str ()
+  in
   Report.Experiments.print_fig6 fmt samples;
   Report.Experiments.print_idle fmt samples;
   Report.Experiments.print_bus fmt samples;
   Report.Experiments.print_gc_ablation fmt samples;
   print_model samples;
   print_ablations ();
-  print_lock_scaling ~jobs ();
+  print_lock_scaling ~jobs ~sched ();
   print_sensitivity ();
   let sgi =
     Report.Experiments.sgi_sweep
       ?plist:(if quick then Some [ 1; 4; 8 ] else None)
-      ~jobs ()
+      ~jobs ~sched:sched_str ()
   in
   Report.Experiments.print_sgi fmt sgi;
   (* Host-side parallel-driver telemetry (to stderr: the values — batch

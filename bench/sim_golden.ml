@@ -10,27 +10,36 @@
    Usage: dune exec bench/sim_golden.exe [-- --jobs N]
    --jobs (or MP_REPRO_JOBS) fans the cells across host domains; each cell
    runs on a private machine instance and lines print in grid order, so the
-   GOLDEN values are identical for every N.
+   GOLDEN values are identical for every N.  MP_REPRO_SCHED selects the
+   scheduling policy (default distributed — the policy the test table
+   pins); under any policy the output must stay identical across --jobs
+   values, which is what CI's ws-policy jobs-diff checks.
    Paste the GOLDEN lines into the table in test/test_sim.ml when adding a
    workload; never update them to absorb a virtual-time change without
    understanding why the change is correct. *)
 
+let sched = Mpthreads.Sched_policy.resolve ()
+
 let golden_cell (name, procs) =
   let module Seq16 =
     Sim.Mp_sim.Int (struct
-        let config = Sim.Sim_config.sequent ~procs:16 ()
+        let config =
+          Sim.Sim_config.sequent ~procs:16
+            ~sched:(Mpthreads.Sched_policy.to_string sched) ()
       end)
       ()
   in
   let module B = Workloads.Bench_suite.Make (Seq16) in
   Mp.Engine.reset_suspensions ();
   let t0 = Sys.time () in
-  let witness = B.run_named name ~procs in
+  let witness = B.run_named ~sched name ~procs in
   let host = Sys.time () -. t0 in
   Printf.sprintf
-    "GOLDEN %-8s procs=%-2d makespan=%-12d gc=%-3d bus=%-12d witness=%d \
-     susp=%d decisions=%d host=%.3fs"
-    name procs
+    "GOLDEN %-8s sched=%-12s procs=%-2d makespan=%-12d gc=%-3d bus=%-12d \
+     witness=%d susp=%d decisions=%d host=%.3fs"
+    name
+    (Mpthreads.Sched_policy.to_string sched)
+    procs
     (Seq16.Machine.makespan_cycles ())
     (Seq16.Machine.gc_collections ())
     (Seq16.Machine.bus_bytes ())

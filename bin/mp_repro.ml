@@ -4,7 +4,11 @@
    mp_repro idle | bus | gc | sgi    the other evaluation sections
    mp_repro locks                    lock latency microtable (E3)
    mp_repro portability              source-line inventory (E2)
-   mp_repro all [--quick]            everything *)
+   mp_repro all [--quick]            everything
+
+   Every sweep subcommand takes --sched POLICY (or the MP_REPRO_SCHED
+   environment variable) to run the thread pools under a different
+   scheduling policy. *)
 
 open Cmdliner
 
@@ -26,6 +30,19 @@ let jobs_arg =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let sched_arg =
+  let doc =
+    "Thread-scheduler policy for the sweep's pools: one of \
+     $(b,fifo)|$(b,lifo)|$(b,distributed)|$(b,ws)|$(b,micropools[:K]).  \
+     Defaults to $(b,MP_REPRO_SCHED) or $(b,distributed)."
+  in
+  Arg.(value & opt (some string) None & info [ "sched" ] ~docv:"POLICY" ~doc)
+
+(* --sched beats MP_REPRO_SCHED beats the distributed default; re-render to
+   the canonical spelling for sweep cache keys and sample labels. *)
+let resolve_sched explicit =
+  Mpthreads.Sched_policy.(to_string (resolve ?explicit ()))
+
 let trace_arg =
   let doc =
     "Stream telemetry events (scheduler, lock, GC, ...) to $(docv) as JSONL \
@@ -44,50 +61,48 @@ let plist_of quick procs =
   | Some l -> Some l
   | None -> if quick then Some [ 1; 4; 16 ] else None
 
-let sweep quick procs jobs =
-  Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ?jobs ()
+let sweep quick procs jobs sched =
+  Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ?jobs
+    ~sched:(resolve_sched sched) ()
 
 let fig6_cmd =
-  let run quick procs jobs trace =
+  let run quick procs jobs sched trace =
     maybe_trace trace (fun () ->
-        Report.Experiments.print_fig6 fmt (sweep quick procs jobs))
+        Report.Experiments.print_fig6 fmt (sweep quick procs jobs sched))
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Self-relative speedup curves (Figure 6)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ trace_arg)
 
 let idle_cmd =
-  let run quick procs jobs =
-    Report.Experiments.print_idle fmt (sweep quick procs jobs)
+  let run quick procs jobs sched =
+    Report.Experiments.print_idle fmt (sweep quick procs jobs sched)
   in
   Cmd.v (Cmd.info "idle" ~doc:"Processor idle fractions (E4)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
 
 let bus_cmd =
-  let run quick procs jobs =
-    Report.Experiments.print_bus fmt (sweep quick procs jobs)
+  let run quick procs jobs sched =
+    Report.Experiments.print_bus fmt (sweep quick procs jobs sched)
   in
   Cmd.v (Cmd.info "bus" ~doc:"Memory-bus traffic and contention (E5)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
 
 let gc_cmd =
-  let run quick procs jobs =
-    Report.Experiments.print_gc_ablation fmt (sweep quick procs jobs)
+  let run quick procs jobs sched =
+    Report.Experiments.print_gc_ablation fmt (sweep quick procs jobs sched)
   in
   Cmd.v (Cmd.info "gc" ~doc:"GC ablation (E6)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
 
 let sgi_cmd =
-  let run quick procs jobs =
-    let plist =
-      match plist_of quick procs with
-      | Some l -> Some l
-      | None -> None
-    in
+  let run quick procs jobs sched =
+    let plist = plist_of quick procs in
     Report.Experiments.print_sgi fmt
-      (Report.Experiments.sgi_sweep ?plist ?jobs ())
+      (Report.Experiments.sgi_sweep ?plist ?jobs ~sched:(resolve_sched sched)
+         ())
   in
   Cmd.v (Cmd.info "sgi" ~doc:"The SGI machine model sweep (E7)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
 
 let locks_cmd =
   let run () = Report.Experiments.print_lock_latency fmt in
@@ -101,11 +116,11 @@ let portability_cmd =
     Term.(const run $ const ())
 
 let all_cmd =
-  let run quick procs jobs trace =
+  let run quick procs jobs sched trace =
     Report.Experiments.print_lock_latency fmt;
     Report.Experiments.print_portability fmt;
     maybe_trace trace (fun () ->
-        let s = sweep quick procs jobs in
+        let s = sweep quick procs jobs sched in
         Report.Experiments.print_fig6 fmt s;
         Report.Experiments.print_idle fmt s;
         Report.Experiments.print_bus fmt s;
@@ -113,10 +128,10 @@ let all_cmd =
     Report.Experiments.print_sgi fmt
       (Report.Experiments.sgi_sweep
          ?plist:(if quick then Some [ 1; 4; 8 ] else None)
-         ?jobs ())
+         ?jobs ~sched:(resolve_sched sched) ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Every evaluation section")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ trace_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ trace_arg)
 
 let () =
   let info =

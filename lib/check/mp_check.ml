@@ -349,6 +349,12 @@ struct
     let exchange = Cell.exchange
     let compare_and_set = Cell.compare_and_set
     let fetch_and_add = Cell.fetch_and_add
+
+    (* Deliberately NOT a serialization point: [unsafe_peek] backs
+       observation-only idle predicates, so exploring schedules around it
+       would only blow up the state space without adding interleavings a
+       real algorithm step could distinguish. *)
+    let unsafe_peek (c : 'a Cell.t) = c.Cell.v
   end
 
   module Proc = struct

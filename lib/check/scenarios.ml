@@ -138,6 +138,78 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
           "ws_deque: element returned twice";
         check (got = [ 1; 2; 3 ]) "ws_deque: lost or invented an element")
 
+  (* The work-stealing policy's ready queue: a thief's steal-half batch
+     racing the owner's pop at every instrumented cell access.  Every
+     element must come out exactly once, whichever side wins the CAS. *)
+  let spmc_queue_scenario () =
+    C.run (fun () ->
+        let module SQ = Queues.Spmc_queue.Make (C.Catomic) in
+        let q = SQ.create () in
+        let stolen = ref [] in
+        let popped = ref [] in
+        C.spawn (fun () ->
+            for _ = 1 to 2 do
+              Array.iter (fun v -> stolen := v :: !stolen) (SQ.steal_half q)
+            done);
+        SQ.push q 1;
+        SQ.push q 2;
+        SQ.push q 3;
+        (match SQ.pop q with Some v -> popped := v :: !popped | None -> ());
+        (match SQ.pop q with Some v -> popped := v :: !popped | None -> ());
+        join ();
+        let rec drain () =
+          match SQ.pop q with
+          | Some v ->
+              popped := v :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        let got = List.sort compare (!stolen @ !popped) in
+        check
+          (List.length got = List.length (List.sort_uniq compare got))
+          "spmc_queue: element returned twice";
+        check (got = [ 1; 2; 3 ]) "spmc_queue: lost or invented an element")
+
+  (* Pinned micropools: with 2 pools over 2 procs, an item pushed into
+     pool p (= proc mod 2) may only ever be taken by a proc of that pool —
+     work must not migrate, whatever the interleaving.  Items are tagged
+     with their pool so a migrated take identifies itself. *)
+  let micropool_affinity_scenario () =
+    C.run (fun () ->
+        let module Pol = Mpthreads.Sched_policy.Make (C) in
+        let (module S) =
+          Pol.instance (Mpthreads.Sched_policy.Micropools 2)
+        in
+        let q = S.create ~procs:2 in
+        S.prepare q ~procs:2;
+        let bad = ref None in
+        let taken = ref 0 in
+        let consume ~proc =
+          match S.take q ~proc with
+          | Some tag ->
+              incr taken;
+              if tag <> proc mod 2 then bad := Some (proc, tag)
+          | None -> ()
+        in
+        C.spawn (fun () ->
+            S.push_local q ~proc:1 1;
+            consume ~proc:1;
+            consume ~proc:1);
+        S.push_local q ~proc:0 0;
+        S.push_local q ~proc:0 0;
+        consume ~proc:0;
+        join ();
+        (* drain each pool through its own pool index *)
+        consume ~proc:0;
+        consume ~proc:1;
+        (match !bad with
+        | Some (proc, tag) ->
+            fail "micropools: proc %d took pool-%d work" proc tag
+        | None -> ());
+        check (!taken = 3) "micropools: %d of 3 items consumed" !taken;
+        check (S.total_length q = 0) "micropools: queue not drained")
+
   let multi_queue_scenario () =
     C.run (fun () ->
         let module MQ = Queues.Multi_queue.Make (T_tas) in
@@ -342,11 +414,11 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
 
   (* ---- the full thread package (heavy) -------------------------------- *)
 
-  let threads_scenario () =
+  let threads_scenario ?sched () =
     C.run (fun () ->
         let module S = Mpthreads.Sched_thread.Make (C) in
         let hits = ref 0 in
-        S.with_pool ~procs:2 ~quantum:1e6 (fun () ->
+        S.with_pool ~procs:2 ~quantum:1e6 ?sched (fun () ->
             S.fork_join [ (fun () -> incr hits); (fun () -> incr hits) ]);
         check (!hits = 2) "threads: fork_join lost a task")
 
@@ -362,6 +434,8 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("lock_hwpool", mutex_scenario (module T_hwpool));
       ("lock_rw_spin", rw_scenario);
       ("queue_ws_deque", ws_deque_scenario);
+      ("queue_spmc", spmc_queue_scenario);
+      ("sched_micropool_affinity", micropool_affinity_scenario);
       ("queue_multi", multi_queue_scenario);
       ("queue_bounded", bounded_queue_scenario);
       ("sync_ivar", sync_ivar_scenario);
@@ -373,6 +447,15 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("proc_pool", proc_pool_scenario);
     ]
 
-  let heavy = [ ("threads_pool", threads_scenario) ]
+  (* One pool scenario per scheduler policy: the whole family must survive
+     bounded schedule exploration, not just the golden-pinned default. *)
+  let heavy =
+    ("threads_pool", threads_scenario ?sched:None)
+    :: List.map
+         (fun p ->
+           ( "threads_pool_" ^ Mpthreads.Sched_policy.to_string p,
+             threads_scenario ~sched:p ))
+         Mpthreads.Sched_policy.
+           [ Fifo; Lifo; Distributed; Ws; Micropools 2 ]
   let broken = [ ("broken_tas", mutex_scenario (module Broken_tas)) ]
 end

@@ -30,6 +30,11 @@ module Make (P : Mp.Mp_intf.PLATFORM) (C : COSTS) = struct
     P.Work.charge C.read_cycles;
     Atomic.get c
 
+  (* Observation-only read for scheduler idle predicates, which must be
+     charge-free: [Work.idle_until ~ready] evaluates its predicate from
+     scheduler context where charging would corrupt virtual time. *)
+  let unsafe_peek c = Atomic.get c
+
   let set c v =
     P.Work.charge C.write_cycles;
     Atomic.set c v

@@ -25,6 +25,13 @@ module Default_costs : COSTS
 module Make (P : Mp.Mp_intf.PLATFORM) (_ : COSTS) : sig
   include Lock_intf.PRIMS
 
+  val unsafe_peek : 'a cell -> 'a
+  (** Uncharged, observation-only read.  For scheduler idle predicates
+      ([Work.idle_until ~ready] requires a charge-free predicate); algorithm
+      code must keep using {!get}.  Together with the [PRIMS] operations this
+      lets a cell-compatible {!Queues.Queue_intf.ATOMIC} instance be built
+      over charged cells. *)
+
   val spin_count : unit -> int
   val reset_spin_count : unit -> unit
 end

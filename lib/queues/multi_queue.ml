@@ -27,6 +27,10 @@ module Make (L : Mp.Mp_intf.LOCK) = struct
     let slot = t.slots.(proc) in
     protected slot (fun () -> Deque.push_front slot.deque x)
 
+  let push_back t ~proc x =
+    let slot = t.slots.(proc) in
+    protected slot (fun () -> Deque.push_back slot.deque x)
+
   let push_global t x =
     let proc = t.rotor mod procs t in
     t.rotor <- t.rotor + 1;

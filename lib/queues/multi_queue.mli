@@ -16,6 +16,11 @@ module Make (L : Mp.Mp_intf.LOCK) : sig
   val push : 'a t -> proc:int -> 'a -> unit
   (** Push onto [proc]'s own queue (newest first). *)
 
+  val push_back : 'a t -> proc:int -> 'a -> unit
+  (** Push onto the back of [proc]'s queue (oldest first): paired with
+      {!take_local} this gives slot-level FIFO order, which the central-FIFO
+      and micropool scheduler policies build on. *)
+
   val push_global : 'a t -> 'a -> unit
   (** Push onto the queue of a rotating proc — used by producers with no
       proc affinity. *)

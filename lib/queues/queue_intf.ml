@@ -48,6 +48,13 @@ module type ATOMIC = sig
   val exchange : 'a t -> 'a -> 'a
   val compare_and_set : 'a t -> 'a -> 'a -> bool
   val fetch_and_add : int t -> int -> int
+
+  val unsafe_peek : 'a t -> 'a
+  (** A racy, observation-only read: never a serialization point under
+      mp_check and never charged by cost-accounting instances.  Scheduler
+      idle predicates ([Work.idle_until ~ready]) must be side-effect- and
+      charge-free, so they may only look at cells through [unsafe_peek].
+      Algorithm code must keep using [get]. *)
 end
 
 module Stdlib_atomic : ATOMIC with type 'a t = 'a Atomic.t = struct
@@ -59,6 +66,7 @@ module Stdlib_atomic : ATOMIC with type 'a t = 'a Atomic.t = struct
   let exchange = Atomic.exchange
   let compare_and_set = Atomic.compare_and_set
   let fetch_and_add = Atomic.fetch_and_add
+  let unsafe_peek = Atomic.get
 end
 
 (** Priority discipline; as the paper's footnote notes, priorities require a

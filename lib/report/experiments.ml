@@ -1,5 +1,6 @@
 type sample = {
   machine : string;
+  sched : string;
   bench : string;
   procs : int;
   elapsed : float;
@@ -47,6 +48,11 @@ struct
   module P = Sim.Mp_sim.Int (M) ()
   module B = Workloads.Bench_suite.Make (P)
 
+  (* The machine config carries the scheduling policy as a string (so grid
+     cells stay serializable); parse it once per sweep instance. *)
+  let sched_name = M.config.Sim.Sim_config.sched
+  let policy = Mpthreads.Sched_policy.of_string_exn sched_name
+
   let sample_of_run bench procs checksum =
     let st = P.stats () in
     let expected =
@@ -54,6 +60,7 @@ struct
     in
     {
       machine = M.config.Sim.Sim_config.name;
+      sched = sched_name;
       bench;
       procs;
       elapsed = st.Mp.Stats.elapsed;
@@ -75,16 +82,16 @@ struct
     if bench = "seq" then begin
       (* self-relative baseline: the same p copies on one proc *)
       let copies = procs in
-      let _ = B.seq ~procs:1 ~copies () in
+      let _ = B.seq ~procs:1 ~copies ~sched:policy () in
       let base = sample_of_run "seq" 1 copies in
-      let c = B.seq ~procs ~copies () in
+      let c = B.seq ~procs ~copies ~sched:policy () in
       let s = sample_of_run "seq" procs c in
       (* fold the p-copies baseline into the sample list as the
          elapsed of a pseudo 1-proc run scaled per-proc *)
       if procs = 1 then base else s
     end
     else
-      let c = B.run_named bench ~procs in
+      let c = B.run_named ~sched:policy bench ~procs in
       sample_of_run bench procs c
 
   let run ?(plist = default_procs) () =
@@ -96,7 +103,7 @@ struct
   (* seq's baseline is special (p copies on 1 proc per point), so compute
      its per-point baselines separately. *)
   let seq_baseline ~copies =
-    let _ = B.seq ~procs:1 ~copies () in
+    let _ = B.seq ~procs:1 ~copies ~sched:policy () in
     (P.stats ()).Mp.Stats.elapsed
 end
 
@@ -139,9 +146,12 @@ let grid (config : Sim.Sim_config.t) plist =
 let parallel_sweep config ~jobs plist =
   Exec.Job_pool.map ~jobs (run_cell config) (grid config plist)
 
-let sequent_cache : sample list option ref = ref None
-let sgi_cache : sample list option ref = ref None
-let seq_base_cache : (string * int, float) Hashtbl.t = Hashtbl.create 16
+(* Full-sweep caches, keyed by scheduling policy so default and non-default
+   sweeps coexist within one process (the bench driver sweeps several). *)
+let sequent_cache : (string, sample list) Hashtbl.t = Hashtbl.create 4
+let sgi_cache : (string, sample list) Hashtbl.t = Hashtbl.create 4
+let seq_base_cache : (string * string * int, float) Hashtbl.t =
+  Hashtbl.create 16
 
 (* Run [f] with the Sequent platform's telemetry streaming to [path] as
    JSONL, one event per line; flushes and detaches on the way out.  The
@@ -156,53 +166,73 @@ let trace_sequent path f =
       close_out oc)
     f
 
-let sequent_sweep ?plist ?jobs () =
+let sequent_sweep ?plist ?jobs ?(sched = "distributed") () =
   let jobs = Exec.Job_pool.resolve_jobs jobs in
   if Sequent.P.Telemetry.enabled () then
     (* A trace sink is attached to the shared Sequent machine: run the
-       cells on it, sequentially, so their events stream to the sink. *)
+       cells on it, sequentially, so their events stream to the sink.
+       The shared machine is the default-policy one, so traced sweeps
+       always run under the distributed policy. *)
     Sequent.run ?plist ()
   else
-    match (!sequent_cache, plist) with
+    let config = { sequent_config with Sim.Sim_config.sched } in
+    match (Hashtbl.find_opt sequent_cache sched, plist) with
     | Some s, None -> s
     | _ ->
         let s =
-          parallel_sweep sequent_config ~jobs
+          parallel_sweep config ~jobs
             (Option.value plist ~default:default_procs)
         in
-        if plist = None then sequent_cache := Some s;
+        if plist = None then Hashtbl.replace sequent_cache sched s;
         s
 
-let sgi_sweep ?plist ?jobs () =
+let sgi_sweep ?plist ?jobs ?(sched = "distributed") () =
   let jobs = Exec.Job_pool.resolve_jobs jobs in
-  match (!sgi_cache, plist) with
+  let config = { sgi_config with Sim.Sim_config.sched } in
+  match (Hashtbl.find_opt sgi_cache sched, plist) with
   | Some s, None -> s
   | _ ->
       let s =
-        parallel_sweep sgi_config ~jobs
+        parallel_sweep config ~jobs
           (Option.value plist ~default:default_procs)
       in
-      if plist = None then sgi_cache := Some s;
+      if plist = None then Hashtbl.replace sgi_cache sched s;
       s
 
 let find samples ~bench ~procs =
   List.find (fun s -> s.bench = bench && s.procs = procs) samples
 
-let seq_baseline machine ~copies =
-  let key = (machine, copies) in
+let seq_baseline machine ~sched ~copies =
+  let key = (machine, sched, copies) in
   match Hashtbl.find_opt seq_base_cache key with
   | Some t -> t
   | None ->
       let t =
-        if machine = "sgi" then Sgi.seq_baseline ~copies
-        else Sequent.seq_baseline ~copies
+        if sched = "distributed" then
+          if machine = "sgi" then Sgi.seq_baseline ~copies
+          else Sequent.seq_baseline ~copies
+        else begin
+          (* non-default policy: a private machine with that policy *)
+          let config =
+            if machine = "sgi" then { sgi_config with Sim.Sim_config.sched }
+            else { sequent_config with Sim.Sim_config.sched }
+          in
+          let module C =
+            Sweep (struct
+                let config = config
+              end)
+              ()
+          in
+          C.seq_baseline ~copies
+        end
       in
       Hashtbl.add seq_base_cache key t;
       t
 
 let speedup samples ~bench ~procs =
   let s = find samples ~bench ~procs in
-  if bench = "seq" then seq_baseline s.machine ~copies:procs /. s.elapsed
+  if bench = "seq" then
+    seq_baseline s.machine ~sched:s.sched ~copies:procs /. s.elapsed
   else
     let base = find samples ~bench ~procs:1 in
     base.elapsed /. s.elapsed

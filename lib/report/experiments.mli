@@ -8,6 +8,7 @@
 
 type sample = {
   machine : string;  (** "sequent" or "sgi" *)
+  sched : string;  (** scheduling policy the cell ran under *)
   bench : string;
   procs : int;
   elapsed : float;  (** virtual seconds *)
@@ -25,8 +26,15 @@ type sample = {
 val default_procs : int list
 (** 1, 2, 4, 6, 8, 10, 12, 14, 16 — Figure 6's x axis. *)
 
-val sequent_sweep : ?plist:int list -> ?jobs:int -> unit -> sample list
-(** Full sweep on the 16-processor Sequent model (cached after first call).
+val sequent_sweep :
+  ?plist:int list -> ?jobs:int -> ?sched:string -> unit -> sample list
+(** Full sweep on the 16-processor Sequent model (cached per policy after
+    first call).
+
+    [sched] is the scheduling policy for every pool in the sweep, in
+    {!Mpthreads.Sched_policy.of_string} syntax; default ["distributed"].
+    Traced sweeps (a sink attached via {!trace_sequent}) always run on the
+    shared default-policy machine.
 
     [jobs] fans the grid's (bench, procs) cells across that many host
     domains via {!Exec.Job_pool} — every cell runs on a private machine
@@ -36,8 +44,9 @@ val sequent_sweep : ?plist:int list -> ?jobs:int -> unit -> sample list
     attached (see {!trace_sequent}) the sweep runs sequentially on the
     shared traced machine regardless of [jobs]. *)
 
-val sgi_sweep : ?plist:int list -> ?jobs:int -> unit -> sample list
-(** Sweep on the 8-processor SGI model (cached); [jobs] as in
+val sgi_sweep :
+  ?plist:int list -> ?jobs:int -> ?sched:string -> unit -> sample list
+(** Sweep on the 8-processor SGI model (cached); [jobs] and [sched] as in
     {!sequent_sweep}. *)
 
 val trace_sequent : string -> (unit -> 'a) -> 'a

@@ -26,11 +26,12 @@ type t = {
   horizon_window : int;
   horizon_debug : bool;
   heap_debug : bool;
+  sched : string;
 }
 
 (* Sequent Symmetry S81: 16 MHz 80386s; 25 MB/s usable bus; MP mutex
    lock+unlock = 46 us = 736 cycles at 16 MHz. *)
-let sequent ?(procs = 16) () =
+let sequent ?(procs = 16) ?(sched = "distributed") () =
   {
     name = "sequent";
     procs;
@@ -59,11 +60,12 @@ let sequent ?(procs = 16) () =
     horizon_window = max_int;
     horizon_debug = false;
     heap_debug = false;
+    sched;
   }
 
 (* SGI 4D/380S: 33 MHz R3000s (roughly 8x the per-processor throughput of
    the 386 at ~1.2 CPI); bus only ~30 MB/s; lock+unlock = 6 us = 198 cycles. *)
-let sgi ?(procs = 8) () =
+let sgi ?(procs = 8) ?(sched = "distributed") () =
   {
     name = "sgi";
     procs;
@@ -92,6 +94,7 @@ let sgi ?(procs = 8) () =
     horizon_window = max_int;
     horizon_debug = false;
     heap_debug = false;
+    sched;
   }
 
 let with_parallel_gc c factor =

@@ -78,10 +78,18 @@ type t = {
   heap_debug : bool;
       (** Check ready-heap invariants (heap order + index consistency)
           after every scheduler operation; O(procs) per check, debug only. *)
+  sched : string;
+      (** Thread-scheduler policy for pools run on this machine, in
+          {!Mpthreads.Sched_policy.of_string} syntax
+          (["fifo"|"lifo"|"distributed"|"ws"|"micropools[:K]"]).  The
+          simulator itself does not interpret it — sweeps
+          ({!Report.Experiments}) parse it and pass the policy to
+          [Sched_thread.with_pool].  Default ["distributed"], the
+          golden-pinned historical policy. *)
 }
 
-val sequent : ?procs:int -> unit -> t
-val sgi : ?procs:int -> unit -> t
+val sequent : ?procs:int -> ?sched:string -> unit -> t
+val sgi : ?procs:int -> ?sched:string -> unit -> t
 
 val with_parallel_gc : t -> float -> t
 (** Same machine with the collection itself parallelized by the given

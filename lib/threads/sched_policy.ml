@@ -1,0 +1,312 @@
+(* The scheduler-policy family.  [t] is the selectable axis threaded from
+   [Sim_config]/[--sched] down to [Sched_thread.with_pool]; [Make] builds
+   the concrete [Thread_intf.SCHEDULER] instances over a platform.
+
+   All per-proc counters and cursors here are host-side bookkeeping: they
+   are never charged, so they do not perturb virtual time, and races on
+   them (domains backend) can at worst under-count telemetry. *)
+
+type t = Fifo | Lifo | Distributed | Ws | Micropools of int
+
+let default = Distributed
+
+let to_string = function
+  | Fifo -> "fifo"
+  | Lifo -> "lifo"
+  | Distributed -> "distributed"
+  | Ws -> "ws"
+  | Micropools k -> Printf.sprintf "micropools:%d" k
+
+let names = [ "fifo"; "lifo"; "distributed"; "ws"; "micropools[:K]" ]
+
+let of_string s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "fifo" -> Ok Fifo
+  | "lifo" -> Ok Lifo
+  | "distributed" | "default" -> Ok Distributed
+  | "ws" | "steal" -> Ok Ws
+  | "micropools" -> Ok (Micropools 2)
+  | _ -> (
+      let bad () =
+        Error
+          (Printf.sprintf "unknown scheduler policy %S (expected %s)" s
+             (String.concat "|" names))
+      in
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "micropools" -> (
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match int_of_string_opt arg with
+          | Some k when k >= 1 -> Ok (Micropools k)
+          | _ -> bad ())
+      | _ -> bad ())
+
+let of_string_exn s =
+  match of_string s with Ok p -> p | Error msg -> invalid_arg msg
+
+let env_var = "MP_REPRO_SCHED"
+
+let resolve ?explicit () =
+  match explicit with
+  | Some s -> of_string_exn s
+  | None -> (
+      match Sys.getenv_opt env_var with
+      | Some s when String.trim s <> "" -> of_string_exn s
+      | _ -> default)
+
+module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
+  module MQ = Queues.Multi_queue.Make (P.Lock)
+
+  (* Steal traffic is priced like any other RMW-based synchronization: the
+     SPMC queue's cells charge through [Charged_prims], so on the simulator
+     a pop or steal probe costs read/CAS cycles plus bus bytes, while on
+     real backends the charges are no-ops and only the Atomic ops remain. *)
+  module CP = Locks.Charged_prims.Make (P) (Locks.Charged_prims.Default_costs)
+
+  module Charged_atomic = struct
+    type 'a t = 'a CP.cell
+
+    let make = CP.make
+    let get = CP.get
+    let set = CP.set
+    let exchange = CP.exchange
+    let compare_and_set = CP.compare_and_set
+    let fetch_and_add = CP.fetch_and_add
+    let unsafe_peek = CP.unsafe_peek
+  end
+
+  module SQ = Queues.Spmc_queue.Make (Charged_atomic)
+
+  let clamp_proc ~n proc = if proc < 0 || proc >= n then 0 else proc
+
+  (* The historical default: per-proc locked deques, owner front-push/pop,
+     rotor spray for new work, rotating-scan steal-one from the back.
+     Issues exactly the [Multi_queue] op sequence the pre-policy scheduler
+     issued, so the simulator goldens are bit-identical under it. *)
+  module Distributed_q : Thread_intf.SCHEDULER = struct
+    let name = "distributed"
+
+    type 'a t = 'a MQ.t
+
+    let create ~procs = MQ.create ~procs
+    let prepare _ ~procs:_ = ()
+    let push_local q ~proc x = MQ.push q ~proc x
+    let push_new q ~proc:_ x = MQ.push_global q x
+    let take q ~proc = MQ.take q ~proc
+    let looks_nonempty q ~proc:_ = MQ.looks_nonempty q
+    let total_length = MQ.total_length
+    let steals = MQ.steals
+    let steal_attempts = MQ.steals
+  end
+
+  (* One shared slot, enqueue at the back, dequeue at the front: the
+     classic central FIFO run queue — the baseline work stealing is
+     measured against.  Every proc contends on the single slot lock. *)
+  module Central_fifo : Thread_intf.SCHEDULER = struct
+    let name = "fifo"
+
+    type 'a t = 'a MQ.t
+
+    let create ~procs:_ = MQ.create ~procs:1
+    let prepare _ ~procs:_ = ()
+    let push_local q ~proc:_ x = MQ.push_back q ~proc:0 x
+    let push_new q ~proc:_ x = MQ.push_back q ~proc:0 x
+    let take q ~proc:_ = MQ.take_local q ~proc:0
+    let looks_nonempty q ~proc:_ = MQ.looks_nonempty_local q ~proc:0
+    let total_length = MQ.total_length
+    let steals _ = 0
+    let steal_attempts _ = 0
+  end
+
+  (* One shared slot, enqueue and dequeue both at the front.  This is what
+     the scheduler's old [~run_queue:`Central] mode did (slot-0 push_front
+     + pop_front), so `Central` maps here and keeps its historical
+     behavior bit-for-bit. *)
+  module Central_lifo : Thread_intf.SCHEDULER = struct
+    let name = "lifo"
+
+    type 'a t = 'a MQ.t
+
+    let create ~procs:_ = MQ.create ~procs:1
+    let prepare _ ~procs:_ = ()
+    let push_local q ~proc:_ x = MQ.push q ~proc:0 x
+    let push_new q ~proc:_ x = MQ.push q ~proc:0 x
+    let take q ~proc:_ = MQ.take_local q ~proc:0
+    let looks_nonempty q ~proc:_ = MQ.looks_nonempty_local q ~proc:0
+    let total_length = MQ.total_length
+    let steals _ = 0
+    let steal_attempts _ = 0
+  end
+
+  (* Multiprogrammed work stealing (the Manticore workGroup shape): one
+     lock-free SPMC steal-half queue per proc, randomized victim selection,
+     and batch transfer — a thief keeps the oldest stolen element and
+     re-owns the rest of the batch on its own queue.
+
+     Determinism: victim selection uses a per-proc xorshift stream seeded
+     from the proc index only, so a simulator run is a pure function of the
+     program — byte-identical across hosts and across [Job_pool] fan-out
+     widths.  [Random] and wall-clock seeds are deliberately avoided. *)
+  module Work_stealing : Thread_intf.SCHEDULER = struct
+    let name = "ws"
+
+    type 'a slot = { q : 'a SQ.t; mutable rng : int; mutable last_victim : int }
+
+    type 'a t = {
+      slots : 'a slot array;
+      mutable live : int; (* procs acquired into the pool; set by prepare *)
+      mutable attempts : int;
+      mutable hits : int;
+    }
+
+    let seed_of p =
+      (* splitmix-style scramble so neighboring procs do not probe in
+         lockstep *)
+      let x = (p + 1) * 0x9E3779B9 in
+      let x = x lxor (x lsr 16) in
+      if x land max_int = 0 then 1 else x land max_int
+
+    let create ~procs =
+      {
+        slots =
+          Array.init procs (fun p ->
+              { q = SQ.create (); rng = seed_of p; last_victim = -1 });
+        live = procs;
+        attempts = 0;
+        hits = 0;
+      }
+
+    let prepare t ~procs =
+      t.live <- max 1 (min procs (Array.length t.slots))
+
+    let next_rand s =
+      let x = s.rng in
+      let x = x lxor (x lsl 13) in
+      let x = x lxor (x lsr 17) in
+      let x = x lxor (x lsl 5) in
+      let x = x land max_int in
+      let x = if x = 0 then 1 else x in
+      s.rng <- x;
+      x
+
+    let push_local t ~proc x =
+      (* the calling proc is this slot's single producer *)
+      SQ.push t.slots.(clamp_proc ~n:(Array.length t.slots) proc).q x
+
+    let push_new = push_local
+
+    let steal t ~proc =
+      let n = Array.length t.slots in
+      (* elastic victim range: only probe procs actually in the pool *)
+      let live = if t.live > proc then t.live else n in
+      if live <= 1 then None
+      else begin
+        let s = t.slots.(proc) in
+        let probe victim =
+          t.attempts <- t.attempts + 1;
+          match SQ.steal_half t.slots.(victim).q with
+          | [||] -> None
+          | batch ->
+              t.hits <- t.hits + 1;
+              s.last_victim <- victim;
+              (* keep the oldest, re-own the rest: this proc is its own
+                 queue's single producer, so the SPMC invariant holds *)
+              for i = 1 to Array.length batch - 1 do
+                SQ.push s.q batch.(i)
+              done;
+              Some batch.(0)
+        in
+        (* the victim that last yielded work is likely still loaded (one
+           proc fans out a phase's tasks): probe it first, then sweep the
+           rest from a randomized start so a lone loaded queue is found
+           in at most [live - 1] probes *)
+        let last = s.last_victim in
+        let again =
+          if last >= 0 && last < live && last <> proc then probe last else None
+        in
+        match again with
+        | Some _ as hit -> hit
+        | None ->
+            let start = proc + 1 + (next_rand s mod (live - 1)) in
+            let rec sweep k i =
+              if k = 0 then None
+              else
+                let victim = i mod live in
+                if victim = proc then sweep k (i + 1)
+                else
+                  match probe victim with
+                  | Some _ as hit -> hit
+                  | None -> sweep (k - 1) (i + 1)
+            in
+            sweep (live - 1) start
+      end
+
+    let take t ~proc =
+      let proc = clamp_proc ~n:(Array.length t.slots) proc in
+      match SQ.pop t.slots.(proc).q with
+      | Some _ as v -> v
+      | None -> steal t ~proc
+
+    let looks_nonempty t ~proc:_ =
+      let any = ref false in
+      Array.iter (fun s -> if SQ.looks_nonempty s.q then any := true) t.slots;
+      !any
+
+    let total_length t =
+      Array.fold_left (fun acc s -> acc + SQ.length_hint s.q) 0 t.slots
+
+    let steals t = t.hits
+    let steal_attempts t = t.attempts
+  end
+
+  (* Pinned micropools: the procs are partitioned into [k] pools
+     (proc mod k), each pool shares one locked deque, and a proc only ever
+     consumes from its own pool — work never migrates across pools, procs
+     never roam.  New threads are sprayed across pools round-robin; resumed
+     continuations stay in the resuming proc's pool. *)
+  module Micropools (K : sig
+    val pools : int
+  end) : Thread_intf.SCHEDULER =
+  struct
+    let name = Printf.sprintf "micropools:%d" K.pools
+
+    type 'a t = { mq : 'a MQ.t; mutable pools : int; mutable rotor : int }
+
+    let create ~procs =
+      let k = max 1 (min K.pools procs) in
+      { mq = MQ.create ~procs:k; pools = k; rotor = 0 }
+
+    (* Clamping to the acquired-proc count keeps every pool owned by at
+       least one proc (pool p is served by procs ≡ p mod pools), so no
+       pool can strand work.  Runs before the pool body forks anything,
+       so no item can already sit in a slot ≥ the new pool count. *)
+    let prepare t ~procs = t.pools <- max 1 (min (MQ.procs t.mq) procs)
+
+    let pool t proc = (if proc < 0 then 0 else proc) mod t.pools
+    let push_local t ~proc x = MQ.push t.mq ~proc:(pool t proc) x
+
+    let push_new t ~proc:_ x =
+      let p = t.rotor mod t.pools in
+      t.rotor <- t.rotor + 1;
+      MQ.push_back t.mq ~proc:p x
+
+    let take t ~proc = MQ.take_local t.mq ~proc:(pool t proc)
+
+    let looks_nonempty t ~proc =
+      MQ.looks_nonempty_local t.mq ~proc:(pool t proc)
+
+    let total_length t = MQ.total_length t.mq
+    let steals _ = 0
+    let steal_attempts _ = 0
+  end
+
+  let instance : t -> (module Thread_intf.SCHEDULER) = function
+    | Fifo -> (module Central_fifo)
+    | Lifo -> (module Central_lifo)
+    | Distributed -> (module Distributed_q)
+    | Ws -> (module Work_stealing)
+    | Micropools k ->
+        (module Micropools (struct
+          let pools = k
+        end))
+end

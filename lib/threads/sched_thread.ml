@@ -1,14 +1,33 @@
 open Mp
 
 module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
-  module MQ = Queues.Multi_queue.Make (P.Lock)
+  module Policy = Sched_policy.Make (P)
 
   type runnable =
     | Thunk of (unit -> unit) * int
     | Cont : 'a Engine.cont * 'a * int -> runnable
 
-  let rq : runnable MQ.t ref = ref (MQ.create ~procs:1)
-  let central = ref false
+  (* The ready queue behind a first-class SCHEDULER instance: the policy
+     (central FIFO/LIFO, distributed deques, work stealing, micropools) is
+     chosen per pool and every queue operation below dispatches through
+     it.  The default [Distributed] policy issues exactly the operation
+     sequence the pre-policy scheduler issued, so simulator goldens are
+     bit-identical under it. *)
+  module type RQ = sig
+    module S : Thread_intf.SCHEDULER
+
+    val q : runnable S.t
+  end
+
+  let make_rq policy ~procs : (module RQ) =
+    let (module S : Thread_intf.SCHEDULER) = Policy.instance policy in
+    (module struct
+      module S = S
+
+      let q = S.create ~procs
+    end)
+
+  let rq : (module RQ) ref = ref (make_rq Sched_policy.default ~procs:1)
   let active = ref false
   let finished = ref false
   let acquired = ref 1
@@ -38,13 +57,44 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     P.Lock.locked timer_lock (fun () ->
         PQ.enq !timers ~priority:(timer_priority time) (time, callback))
 
+  (* Timer-peek invariant.  [fire_due_timers]'s fast path peeks the heap
+     WITHOUT [timer_lock].  That racy peek is only safe when no other host
+     thread can mutate the heap concurrently — which holds on the
+     cooperative backends (uniproc/sim/check run every proc as a fiber of
+     one host domain) and on any backend when the pool has a single proc.
+     It does NOT depend on the scheduling policy: a central queue does not
+     serialize procs, only a single host domain does.  On the domains
+     backend with a multi-proc pool, a peek racing the locked drain's heap
+     mutation could read a torn heap, so dispatch must take the locked
+     path there; [with_pool] computes this per pool, before any proc is
+     acquired. *)
+  let cooperative_host =
+    P.name = "uniproc" || P.name = "check"
+    || (String.length P.name >= 4 && String.sub P.name 0 4 = "sim:")
+
+  let timer_peek_unlocked = ref true
+
+  let debug_guard =
+    match Sys.getenv_opt "MP_SCHED_DEBUG" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+
   (* Fire every due timer; true if any fired.  The unlocked peek matters:
      dispatch calls this on every idle iteration, and taking the lock each
      time would make the timer lock the hottest word in the system.  A racy
      peek can only mis-read in-flight state; the locked drain below
      re-checks everything. *)
   let fire_due_timers () =
-    match PQ.peek_opt !timers with
+    let peeked =
+      if !timer_peek_unlocked then begin
+        if debug_guard then
+          (* the invariant above, re-checked live under any policy *)
+          assert (cooperative_host || !acquired <= 1);
+        PQ.peek_opt !timers
+      end
+      else P.Lock.locked timer_lock (fun () -> PQ.peek_opt !timers)
+    in
+    match peeked with
     | None -> false
     | Some (t0, _) when t0 > P.Work.now () -> false
     | Some _ ->
@@ -68,16 +118,21 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   (* Telemetry: dispatch/steal events are emitted live (guarded, so the
      quiet path costs one boolean load); fork/switch/steal totals are
      folded into the counter registry at the end of [with_pool], keeping
-     the hot paths free of extra atomics. *)
+     the hot paths free of extra atomics.  [sched.queue_depth] is a max
+     gauge sampled at forks, so like the events it is only populated when
+     telemetry is enabled. *)
   let c_forks = P.Telemetry.counter "sched.forks"
   let c_switches = P.Telemetry.counter "sched.switches"
   let c_steals = P.Telemetry.counter "sched.steals"
+  let c_steal_attempts = P.Telemetry.counter "sched.steal_attempts"
+  let c_steal_hits = P.Telemetry.counter "sched.steal_hits"
+  let c_depth = P.Telemetry.counter "sched.queue_depth"
 
   (* Called after a successful take when telemetry is on: a steal shows up
-     as a bump of the queue's steal counter across the take. *)
-  let note_run proc steals0 tid =
+     as a bump of the policy's steal counter across the take. *)
+  let note_run proc steals_now steals0 tid =
     let ts = P.Telemetry.now_ts () in
-    if MQ.steals !rq > steals0 then
+    if steals_now > steals0 then
       P.Telemetry.emit (Obs.Event.Steal { proc; clock = ts });
     P.Telemetry.emit (Obs.Event.Switch { proc; clock = ts; thread = tid })
 
@@ -90,17 +145,16 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     let proc = P.Proc.self () in
     mark_switch proc;
     let tel = P.Telemetry.enabled () in
-    let steals0 = if tel then MQ.steals !rq else 0 in
-    match
-      if !central then MQ.take_local !rq ~proc:0 else MQ.take !rq ~proc
-    with
+    let (module Q) = !rq in
+    let steals0 = if tel then Q.S.steals Q.q else 0 in
+    match Q.S.take Q.q ~proc with
     | Some (Thunk (f, tid)) ->
-        if tel then note_run proc steals0 tid;
+        if tel then note_run proc (Q.S.steals Q.q) steals0 tid;
         P.Proc.set_datum tid;
         (try f () with e -> record_error e);
         dispatch ()
     | Some (Cont (k, v, tid)) ->
-        if tel then note_run proc steals0 tid;
+        if tel then note_run proc (Q.S.steals Q.q) steals0 tid;
         P.Proc.set_datum tid;
         Engine.throw k v
     | None ->
@@ -109,40 +163,39 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
         else begin
           (* Idle until any of the conditions the loop above would act on
              can hold.  The predicate mirrors this dispatch's uncharged
-             failure path read-for-read — racy deque peeks, an unlocked
-             timer peek, the finished flag — and is side-effect- and
-             charge-free, as [Work.idle_until] requires; a wake re-runs the
-             full (charged) probes above from the same position. *)
-          let rq_now = !rq in
+             failure path read-for-read — the policy's charge-free queue
+             hint, an unlocked timer peek, the finished flag — and is
+             side-effect- and charge-free, as [Work.idle_until] requires; a
+             wake re-runs the full (charged) probes above from the same
+             position. *)
           P.Work.idle_until ~ready:(fun () ->
               !finished
               || (match PQ.peek_opt !timers with
                  | Some (t0, _) -> t0 <= P.Work.now ()
                  | None -> false)
-              ||
-              if !central then MQ.looks_nonempty_local rq_now ~proc:0
-              else MQ.looks_nonempty rq_now);
+              || Q.S.looks_nonempty Q.q ~proc);
           dispatch ()
         end
 
   let enqueue r =
-    MQ.push !rq ~proc:(if !central then 0 else P.Proc.self ()) r
+    let (module Q) = !rq in
+    Q.S.push_local Q.q ~proc:(P.Proc.self ()) r
 
-  (* New threads are distributed round-robin across the per-proc queues (the
-     distributed run queue); resumed continuations stay on the resuming
-     proc's queue for affinity. *)
+  (* New threads go wherever the policy places unaffiliated work (the
+     distributed policies spray them round-robin); resumed continuations
+     stay on the resuming proc's queue for affinity. *)
   let fork child =
     let tid = Atomic.fetch_and_add next_id 1 in
-    if !central then MQ.push !rq ~proc:0 (Thunk (child, tid))
-    else MQ.push_global !rq (Thunk (child, tid));
+    let (module Q) = !rq in
+    Q.S.push_new Q.q ~proc:(P.Proc.self ()) (Thunk (child, tid));
     if P.Telemetry.enabled () then begin
       let proc = max 0 (P.Proc.self ()) in
       let ts = P.Telemetry.now_ts () in
+      let depth = Q.S.total_length Q.q in
       P.Telemetry.emit (Obs.Event.Fork { proc; clock = ts; thread = tid });
       (* Sample run-queue pressure where it changes: at thread creation. *)
-      P.Telemetry.emit
-        (Obs.Event.Queue_depth
-           { proc; clock = ts; depth = MQ.total_length !rq })
+      P.Telemetry.emit (Obs.Event.Queue_depth { proc; clock = ts; depth });
+      Obs.Counters.max_gauge c_depth depth
     end
 
   let yield () =
@@ -173,15 +226,25 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     Kont_util.cont_of_thunk ~on_return:P.Proc.release_proc (fun () ->
         dispatch ())
 
-  let with_pool ?procs ?quantum:(q = 0.02) ?(run_queue = `Distributed) f =
+  let with_pool ?procs ?quantum:(q = 0.02) ?(run_queue = `Distributed) ?sched
+      f =
     if !active then invalid_arg "Sched_thread.with_pool: not reentrant";
-    central := run_queue = `Central;
+    (* [?sched] wins; the legacy [?run_queue] keeps its historical
+       meanings ([`Central] was slot-0 push_front/pop_front, i.e. central
+       LIFO). *)
+    let policy =
+      match (sched, run_queue) with
+      | Some p, _ -> p
+      | None, `Central -> Sched_policy.Lifo
+      | None, `Distributed -> Sched_policy.default
+    in
     let max_procs = P.Proc.max_procs () in
     let want = match procs with None -> max_procs | Some p -> max 1 p in
-    rq := MQ.create ~procs:max_procs;
+    rq := make_rq policy ~procs:max_procs;
     active := true;
     finished := false;
     acquired := 1;
+    timer_peek_unlocked := cooperative_host || want <= 1;
     Atomic.set next_id 1;
     Atomic.set switch_count 0;
     Atomic.set thread_error None;
@@ -195,13 +258,19 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
          incr acquired
        done
      with Mp_intf.No_More_Procs -> ());
+    let (module Q) = !rq in
+    (* Elastic policies clamp themselves to the procs actually acquired;
+       nothing has been forked yet, so the clamp cannot strand work. *)
+    Q.S.prepare Q.q ~procs:!acquired;
     let result = try Ok (f ()) with e -> Error e in
     finished := true;
     active := false;
     P.Work.set_poll_hook (fun () -> ());
     Obs.Counters.set c_forks (Atomic.get next_id - 1);
     Obs.Counters.set c_switches (Atomic.get switch_count);
-    Obs.Counters.set c_steals (MQ.steals !rq);
+    Obs.Counters.set c_steals (Q.S.steals Q.q);
+    Obs.Counters.set c_steal_attempts (Q.S.steal_attempts Q.q);
+    Obs.Counters.set c_steal_hits (Q.S.steals Q.q);
     match (result, Atomic.get thread_error) with
     | Ok v, None -> v
     | Ok _, Some e -> raise e
@@ -275,6 +344,14 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     end
 
   let pool_procs () = !acquired
-  let steals () = MQ.steals !rq
+
+  let steals () =
+    let (module Q) = !rq in
+    Q.S.steals Q.q
+
+  let steal_attempts () =
+    let (module Q) = !rq in
+    Q.S.steal_attempts Q.q
+
   let switches () = Atomic.get switch_count
 end

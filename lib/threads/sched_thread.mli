@@ -17,6 +17,7 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) : sig
     ?procs:int ->
     ?quantum:float ->
     ?run_queue:[ `Distributed | `Central ] ->
+    ?sched:Sched_policy.t ->
     (unit -> 'a) ->
     'a
   (** [with_pool f] acquires up to [procs] procs (default: the platform
@@ -24,11 +25,15 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) : sig
       completes; worker procs release themselves when the pool is finished
       and their queues are dry.  [quantum] is the preemption quantum in
       seconds (virtual seconds on the simulator); default 0.02.
-      [run_queue] selects the paper's distributed per-proc run queue
-      (default) or a single central queue, the Figure-3 baseline — kept for
-      the run-queue ablation bench.  If any thread raised, the first such
-      exception is re-raised here after the pool winds down.
-      Not reentrant. *)
+      [sched] selects the scheduling policy for this pool (see
+      {!Sched_policy}); default [Distributed], the paper's distributed
+      per-proc run queue, whose simulator behavior is bit-identical to the
+      pre-policy scheduler.  The legacy [run_queue] selector is kept for
+      the run-queue ablation bench: [`Central] is the Figure-3 single
+      central queue and maps to {!Sched_policy.Lifo} (its historical
+      discipline); an explicit [sched] overrides it.  If any thread
+      raised, the first such exception is re-raised here after the pool
+      winds down.  Not reentrant. *)
 
   val block : ('a Mp.Engine.cont -> unit) -> 'a
   (** [block register] captures the current thread as a continuation, hands
@@ -61,6 +66,10 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) : sig
 
   val steals : unit -> int
   (** Successful work-steals since the pool started. *)
+
+  val steal_attempts : unit -> int
+  (** Steal probes (successful or not) since the pool started; equal to
+      {!steals} under policies that do not count failed probes. *)
 
   val switches : unit -> int
   (** Thread dispatches since the pool started. *)

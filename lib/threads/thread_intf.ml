@@ -42,3 +42,54 @@ module type TIMED_SCHED = sig
   val now : unit -> float
   val at : float -> (unit -> unit) -> unit
 end
+
+(** A ready-queue policy, the pluggable heart of {!Sched_thread}: the paper
+    notes that "thread scheduling policy can be changed simply by varying
+    the functor's argument", and this signature is that argument generalized
+    beyond a single queue — per-proc state, fork placement and steal
+    behavior all live behind it.  {!Sched_policy} provides the family
+    (central FIFO/LIFO, the distributed locked deques, lock-free work
+    stealing, pinned micropools). *)
+module type SCHEDULER = sig
+  val name : string
+
+  type 'a t
+
+  val create : procs:int -> 'a t
+  (** [procs] is the platform's [max_procs] — the upper bound on proc
+      indices that will ever touch the queue. *)
+
+  val prepare : 'a t -> procs:int -> unit
+  (** Called once per pool, after proc acquisition and before the pool body
+      runs, with the number of procs actually acquired.  Elastic policies
+      (work stealing's victim range, micropools' pool count) clamp
+      themselves here; fixed policies ignore it. *)
+
+  val push_local : 'a t -> proc:int -> 'a -> unit
+  (** Enqueue with affinity to [proc] (the calling proc): resumed
+      continuations and yields land here. *)
+
+  val push_new : 'a t -> proc:int -> 'a -> unit
+  (** Enqueue a freshly forked thread from [proc]; policies with no
+      affinity for new work spray these round-robin. *)
+
+  val take : 'a t -> proc:int -> 'a option
+  (** Next runnable for [proc] — its own queue first, then whatever the
+      policy's steal behavior finds.  [None] when the policy sees nothing
+      runnable for this proc right now. *)
+
+  val looks_nonempty : 'a t -> proc:int -> bool
+  (** Racy, charge-free hint covering the peek set of {!take}: used as the
+      idle poller's readiness predicate, so it must take no locks, perform
+      no platform charges and write nothing. *)
+
+  val total_length : 'a t -> int
+  (** Approximate enqueued items (racy, charge-free snapshot). *)
+
+  val steals : 'a t -> int
+  (** Successful steal operations so far. *)
+
+  val steal_attempts : 'a t -> int
+  (** Steal probes (successful or not).  Policies that do not distinguish
+      probes from hits report {!steals}. *)
+end

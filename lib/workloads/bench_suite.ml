@@ -8,9 +8,9 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   (* Tight integer loop: low allocation ratio.                           *)
   (* ------------------------------------------------------------------ *)
 
-  let mm ~procs ?run_queue ?(n = 100) ?(seed = 42) () =
+  let mm ~procs ?run_queue ?sched ?(n = 100) ?(seed = 42) () =
     P.run (fun () ->
-        Sched.with_pool ~procs ?run_queue (fun () ->
+        Sched.with_pool ~procs ?run_queue ?sched (fun () ->
             let a = Matrix.random ~n ~seed in
             let b = Matrix.random ~n ~seed:(seed + 1) in
             step ~instrs:(2 * n * n) ~alloc_words:(2 * n * n) ();
@@ -25,9 +25,9 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   (* allpairs: Floyd's algorithm, 75 nodes; one barrier per k-phase.     *)
   (* ------------------------------------------------------------------ *)
 
-  let allpairs ~procs ?run_queue ?(n = 75) ?(seed = 42) () =
+  let allpairs ~procs ?run_queue ?sched ?(n = 75) ?(seed = 42) () =
     P.run (fun () ->
-        Sched.with_pool ~procs ?run_queue (fun () ->
+        Sched.with_pool ~procs ?run_queue ?sched (fun () ->
             let g = Graph.random ~n ~seed () in
             step ~instrs:(n * n) ~alloc_words:(n * n) ();
             let d = Array.map Array.copy g.Graph.dist in
@@ -62,9 +62,9 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     in
     build 0 []
 
-  let mst ~procs ?(n = 200) ?(seed = 42) () =
+  let mst ~procs ?sched ?(n = 200) ?(seed = 42) () =
     P.run (fun () ->
-        Sched.with_pool ~procs (fun () ->
+        Sched.with_pool ~procs ?sched (fun () ->
             let p = Euclid.random_points ~n ~seed in
             step ~instrs:(n * 10) ~alloc_words:(n * 4) ();
             let in_tree = Array.make n false in
@@ -127,9 +127,9 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
 
   let charge_block instrs = step ~instrs ~alloc_words:(instrs / 3) ()
 
-  let abisort ~procs ?(size = 4096) ?(seed = 42) () =
+  let abisort ~procs ?sched ?(size = 4096) ?(seed = 42) () =
     P.run (fun () ->
-        Sched.with_pool ~procs (fun () ->
+        Sched.with_pool ~procs ?sched (fun () ->
             let rng = Random.State.make [| seed; size |] in
             let a = Array.init size (fun _ -> Random.State.int rng 1_000_000) in
             step ~instrs:(size * 4) ~alloc_words:size ();
@@ -186,9 +186,9 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   (* Boxed floats: high allocation ratio.                                *)
   (* ------------------------------------------------------------------ *)
 
-  let simple ~procs ?(n = 100) ?(steps = 1) ?(seed = 42) () =
+  let simple ~procs ?sched ?(n = 100) ?(steps = 1) ?(seed = 42) () =
     P.run (fun () ->
-        Sched.with_pool ~procs (fun () ->
+        Sched.with_pool ~procs ?sched (fun () ->
             let t = Hydro.create ~n ~seed in
             step ~instrs:(n * n * 4) ~alloc_words:(n * n * 2) ();
             let row_instrs = Hydro.row_flops t in
@@ -231,10 +231,10 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
   (* seq: p independent copies of a small allocation-heavy application.  *)
   (* ------------------------------------------------------------------ *)
 
-  let seq ~procs ?copies ?(work = 1_000_000) () =
+  let seq ~procs ?copies ?sched ?(work = 1_000_000) () =
     let copies = match copies with Some c -> c | None -> procs in
     P.run (fun () ->
-        Sched.with_pool ~procs (fun () ->
+        Sched.with_pool ~procs ?sched (fun () ->
             Sched.par_iter ~chunks:copies copies (fun _copy ->
                 (* one independent "application": a loop of compute+alloc *)
                 let block = 10_000 in
@@ -250,15 +250,49 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
                 ignore !acc);
             copies))
 
-  let names = [ "allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq" ]
+  (* ------------------------------------------------------------------ *)
+  (* fib: unbalanced divide-and-conquer, the classic work-stealing      *)
+  (* stress test.  Subtree sizes differ exponentially (the k-1 child is *)
+  (* ~1.6x the k-2 child at every node), forks are fine-grained, and a  *)
+  (* sequential cutoff bounds task granularity — so dispatch throughput *)
+  (* dominates and a central run queue serializes on its lock.         *)
+  (* ------------------------------------------------------------------ *)
 
-  let run_named name ~procs =
+  let fib ~procs ?run_queue ?sched ?(n = 24) ?(cutoff = 8) () =
+    P.run (fun () ->
+        Sched.with_pool ~procs ?run_queue ?sched (fun () ->
+            let rec seq_fib k =
+              if k < 2 then k else seq_fib (k - 1) + seq_fib (k - 2)
+            in
+            let rec node k =
+              if k < cutoff then begin
+                (* sequential leaf; charge proportional to subtree size *)
+                let v = seq_fib k in
+                step ~instrs:(40 * (v + 1)) ~alloc_words:(v + 1) ();
+                v
+              end
+              else begin
+                step ~instrs:120 ~alloc_words:24 ();
+                let a = ref 0 and b = ref 0 in
+                Sched.fork_join
+                  [
+                    (fun () -> a := node (k - 1)); (fun () -> b := node (k - 2));
+                  ];
+                !a + !b
+              end
+            in
+            node n))
+
+  let names = [ "allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq"; "fib" ]
+
+  let run_named ?sched name ~procs =
     match name with
-    | "allpairs" -> allpairs ~procs ()
-    | "mst" -> mst ~procs ()
-    | "abisort" -> abisort ~procs ()
-    | "simple" -> simple ~procs ()
-    | "mm" -> mm ~procs ()
-    | "seq" -> seq ~procs ()
+    | "allpairs" -> allpairs ~procs ?sched ()
+    | "mst" -> mst ~procs ?sched ()
+    | "abisort" -> abisort ~procs ?sched ()
+    | "simple" -> simple ~procs ?sched ()
+    | "mm" -> mm ~procs ?sched ()
+    | "seq" -> seq ~procs ?sched ()
+    | "fib" -> fib ~procs ?sched ()
     | other -> invalid_arg ("Bench_suite.run_named: unknown benchmark " ^ other)
 end

@@ -21,6 +21,7 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) : sig
   val mm :
     procs:int ->
     ?run_queue:[ `Distributed | `Central ] ->
+    ?sched:Mpthreads.Sched_policy.t ->
     ?n:int ->
     ?seed:int ->
     unit ->
@@ -31,6 +32,7 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) : sig
   val allpairs :
     procs:int ->
     ?run_queue:[ `Distributed | `Central ] ->
+    ?sched:Mpthreads.Sched_policy.t ->
     ?n:int ->
     ?seed:int ->
     unit ->
@@ -39,32 +41,53 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) : sig
       rows within each of the [n] k-phases (a barrier per phase).  Returns
       {!Graph.checksum} of the distance matrix. *)
 
-  val mst : procs:int -> ?n:int -> ?seed:int -> unit -> int
+  val mst :
+    procs:int -> ?sched:Mpthreads.Sched_policy.t -> ?n:int -> ?seed:int ->
+    unit -> int
   (** Prim's algorithm on [n] random points (default 200): each of the
       n-1 steps does a parallel min-reduction and a parallel relaxation.
       Returns the total MST weight. *)
 
-  val abisort : procs:int -> ?size:int -> ?seed:int -> unit -> int
+  val abisort :
+    procs:int -> ?sched:Mpthreads.Sched_policy.t -> ?size:int -> ?seed:int ->
+    unit -> int
   (** Adaptive bitonic sort of [size] (default 2^12) integers, parallel
       recursion on subtree sorts and sub-merges.  Returns a checksum of the
       sorted array (compare against sorting the same input sequentially). *)
 
-  val simple : procs:int -> ?n:int -> ?steps:int -> ?seed:int -> unit -> int
+  val simple :
+    procs:int -> ?sched:Mpthreads.Sched_policy.t -> ?n:int -> ?steps:int ->
+    ?seed:int -> unit -> int
   (** The SIMPLE hydrodynamics step on an [n]×[n] grid (default 100×100,
       one step): row-parallel phases split by barriers, a serial boundary
       pass, and a lock-reduced global CFL bound.  Returns {!Hydro.checksum}. *)
 
-  val seq : procs:int -> ?copies:int -> ?work:int -> unit -> int
+  val seq :
+    procs:int -> ?copies:int -> ?sched:Mpthreads.Sched_policy.t -> ?work:int ->
+    unit -> int
   (** [copies] (default [procs]) fully independent copies of a small
       application — the paper's [seq] control showing that "lock contention
       and other parallelism issues are not at fault".  Its self-relative
       speedup compares [p] copies on [p] procs against [p] copies on one
       proc.  Returns the number of copies run. *)
 
-  val names : string list
-  (** ["allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq"] — Figure 6's
-      legend order. *)
+  val fib :
+    procs:int ->
+    ?run_queue:[ `Distributed | `Central ] ->
+    ?sched:Mpthreads.Sched_policy.t ->
+    ?n:int -> ?cutoff:int -> unit -> int
+  (** Unbalanced divide-and-conquer [fib n] (default 24) with a sequential
+      [cutoff] (default 8) — the classic work-stealing stress: subtree
+      sizes differ exponentially and tasks are fine-grained, so scheduler
+      dispatch throughput dominates.  Not part of the paper's Figure 6
+      suite; added for the scheduler-policy axis.  Returns [fib n]. *)
 
-  val run_named : string -> procs:int -> int
-  (** Run a benchmark by name with the paper's default parameters. *)
+  val names : string list
+  (** ["allpairs"; "mst"; "abisort"; "simple"; "mm"; "seq"; "fib"] — Figure
+      6's legend order, plus the scheduler-stress [fib]. *)
+
+  val run_named : ?sched:Mpthreads.Sched_policy.t -> string -> procs:int -> int
+  (** Run a benchmark by name with the paper's default parameters, under
+      the given scheduling policy (default {!Mpthreads.Sched_policy.default},
+      the golden-pinned distributed run queue). *)
 end

@@ -505,6 +505,28 @@ struct
         ignore (P.run (fun () -> failwith "boom")));
     check "platform reusable after failed run" 3 (P.run (fun () -> 3))
 
+  (* Every scheduler policy must run a thread pool to completion on every
+     backend — preemptive, cooperative, simulated, and checked — with no
+     task lost or duplicated. *)
+  module ST = Mpthreads.Sched_thread.Make (P)
+
+  let test_sched_policies () =
+    List.iter
+      (fun sched ->
+        let label = Mpthreads.Sched_policy.to_string sched in
+        let v =
+          P.run (fun () ->
+              let procs = min 2 (P.Proc.max_procs ()) in
+              let total = Atomic.make 0 in
+              ST.with_pool ~procs ~quantum:1e6 ~sched (fun () ->
+                  ST.fork_join
+                    (List.init 4 (fun i () ->
+                         ignore (Atomic.fetch_and_add total (i + 1)))));
+              Atomic.get total)
+        in
+        check (Printf.sprintf "policy %s: all tasks ran once" label) 10 v)
+      Mpthreads.Sched_policy.[ Fifo; Lifo; Distributed; Ws; Micropools 2 ]
+
   let suite =
     [
       Alcotest.test_case "identity" `Quick test_identity;
@@ -517,6 +539,7 @@ struct
       Alcotest.test_case "stats contract" `Quick test_stats_contract;
       Alcotest.test_case "exceptions and reuse" `Quick
         test_exceptions_and_reuse;
+      Alcotest.test_case "scheduler policy family" `Quick test_sched_policies;
     ]
 end
 

@@ -378,6 +378,139 @@ let prop_bounded_never_exceeds =
           Bounded_queue.length q <= cap)
         ops)
 
+(* ---------------- SPMC steal-half queue ---------------- *)
+
+let test_spmc_fifo_pop () =
+  let q = Spmc_queue.create () in
+  List.iter (Spmc_queue.push q) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "oldest" (Some 1) (Spmc_queue.pop q);
+  Alcotest.(check (option int)) "next" (Some 2) (Spmc_queue.pop q);
+  Alcotest.(check (option int)) "newest last" (Some 3) (Spmc_queue.pop q);
+  Alcotest.(check (option int)) "empty" None (Spmc_queue.pop q)
+
+let test_spmc_steal_half () =
+  let q = Spmc_queue.create () in
+  for i = 1 to 5 do
+    Spmc_queue.push q i
+  done;
+  (* ceil(5/2) = 3 oldest, oldest first *)
+  Alcotest.(check (array int))
+    "first batch" [| 1; 2; 3 |] (Spmc_queue.steal_half q);
+  Alcotest.(check (array int)) "second" [| 4 |] (Spmc_queue.steal_half q);
+  Alcotest.(check (option int)) "owner gets last" (Some 5) (Spmc_queue.pop q);
+  Alcotest.(check (array int)) "empty steal" [||] (Spmc_queue.steal_half q)
+
+let test_spmc_growth () =
+  let q = Spmc_queue.create () in
+  for i = 1 to 1000 do
+    Spmc_queue.push q i
+  done;
+  check "size" 1000 (Spmc_queue.size q);
+  check "length_hint agrees" 1000 (Spmc_queue.length_hint q);
+  checkb "looks nonempty" true (Spmc_queue.looks_nonempty q);
+  (* alternate pops and steal-half batches; every value exactly once *)
+  let seen = Array.make 1001 false in
+  let mark v =
+    checkb "no duplicates" false seen.(v);
+    seen.(v) <- true
+  in
+  let rec drain tick =
+    if tick mod 2 = 0 then
+      match Spmc_queue.pop q with
+      | Some v ->
+          mark v;
+          drain (tick + 1)
+      | None -> ()
+    else begin
+      Array.iter mark (Spmc_queue.steal_half q);
+      if Spmc_queue.size q > 0 then drain (tick + 1)
+    end
+  in
+  drain 0;
+  check "all drained" 1000
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 seen);
+  checkb "looks empty" false (Spmc_queue.looks_nonempty q)
+
+let test_spmc_interleaved_push () =
+  (* pushes interleaved with claims keep FIFO order among survivors and
+     exercise wraparound of the circular buffer *)
+  let q = Spmc_queue.create () in
+  let out = ref [] in
+  for i = 1 to 100 do
+    Spmc_queue.push q i;
+    if i mod 3 = 0 then
+      match Spmc_queue.pop q with
+      | Some v -> out := v :: !out
+      | None -> Alcotest.fail "nonempty pop"
+  done;
+  let rec drain () =
+    match Spmc_queue.pop q with
+    | Some v ->
+        out := v :: !out;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check_list "permutation of pushes, FIFO claims ascending"
+    (List.init 100 (fun i -> i + 1))
+    (List.sort compare !out);
+  (* claims are FIFO: the reversed accumulator is descending *)
+  checkb "fifo claims" true
+    (let rec desc = function
+       | a :: (b :: _ as tl) -> a > b && desc tl
+       | _ -> true
+     in
+     desc !out)
+
+(* Mirror of [prop_ws_four_domain_race] for the steal-half queue: 1 owner
+   pushing/popping + 3 thief domains consuming whole steal-half batches.
+   Conservation across CAS races and owner-side buffer growth: every
+   pushed value consumed exactly once. *)
+let prop_spmc_four_domain_race =
+  QCheck.Test.make
+    ~name:"spmc_queue: 1 owner + 3 steal-half thieves (4 domains) conserve"
+    ~count:10
+    QCheck.(pair (int_range 500 5_000) (int_range 2 7))
+    (fun (n, pop_every) ->
+      let q = Spmc_queue.create () in
+      let consumed = Atomic.make 0 in
+      let sum = Atomic.make 0 in
+      let stop = Atomic.make false in
+      let thief () =
+        while not (Atomic.get stop) do
+          let batch = Spmc_queue.steal_half q in
+          if Array.length batch = 0 then Domain.cpu_relax ()
+          else
+            Array.iter
+              (fun v ->
+                ignore (Atomic.fetch_and_add sum v);
+                Atomic.incr consumed)
+              batch
+        done
+      in
+      let thieves = List.init 3 (fun _ -> Domain.spawn thief) in
+      for i = 1 to n do
+        Spmc_queue.push q i;
+        if i mod pop_every = 0 then
+          match Spmc_queue.pop q with
+          | Some v ->
+              ignore (Atomic.fetch_and_add sum v);
+              Atomic.incr consumed
+          | None -> ()
+      done;
+      let rec drain () =
+        match Spmc_queue.pop q with
+        | Some v ->
+            ignore (Atomic.fetch_and_add sum v);
+            Atomic.incr consumed;
+            drain ()
+        | None -> if Atomic.get consumed < n then drain ()
+      in
+      drain ();
+      Atomic.set stop true;
+      List.iter Domain.join thieves;
+      Atomic.get sum = n * (n + 1) / 2 && Atomic.get consumed = n)
+
 (* The parallel sweep driver distributes jobs through this deque with one
    owner and N-1 stealing domains; exercise exactly that shape (4 host
    domains, randomized push/pop interleaving) and require conservation:
@@ -491,6 +624,14 @@ let () =
           Alcotest.test_case "conservation under stealing" `Slow
             test_ws_conservation_under_stealing;
         ] );
+      ( "spmc",
+        [
+          Alcotest.test_case "fifo pop" `Quick test_spmc_fifo_pop;
+          Alcotest.test_case "steal half" `Quick test_spmc_steal_half;
+          Alcotest.test_case "growth + drain" `Quick test_spmc_growth;
+          Alcotest.test_case "interleaved push" `Quick
+            test_spmc_interleaved_push;
+        ] );
       qsuite "properties"
         [
           prop_fifo_preserves_order;
@@ -499,6 +640,7 @@ let () =
           prop_priority_sorted;
           prop_deque_double_ended;
           prop_bounded_never_exceeds;
+          prop_spmc_four_domain_race;
           prop_ws_four_domain_race;
         ];
     ]

@@ -507,6 +507,84 @@ let test_horizon_debug_matches_golden () =
       check (tag "bus bytes") bus (HDbg.Machine.bus_bytes ()))
     [ ("mst", 4); ("simple", 16); ("mm", 16) ]
 
+(* ---------------- scheduler policy family ---------------- *)
+
+(* The golden machine under an explicit policy: makespan per (bench,
+   procs, policy) on the Sequent-16. *)
+let policy_makespan sched bench procs =
+  ignore (GB.run_named ~sched bench ~procs);
+  G.Machine.makespan_cycles ()
+
+(* Requesting the default policy explicitly is the identity: bit-identical
+   to the golden table (the BENCH_sim.json default-policy cells are
+   generated through exactly this call path). *)
+let test_sched_default_identity () =
+  List.iter
+    (fun (bench, procs) ->
+      let rows = List.assoc bench golden in
+      let makespan =
+        List.fold_left
+          (fun acc (p, m, _, _, _) -> if p = procs then m else acc)
+          0 rows
+      in
+      check
+        (Printf.sprintf "%s@%d explicit distributed = golden" bench procs)
+        makespan
+        (policy_makespan Mpthreads.Sched_policy.Distributed bench procs))
+    [ ("mm", 16); ("allpairs", 4); ("mst", 1) ]
+
+(* Work stealing must scale: speedup strictly improves from 1 to 4 procs
+   on the irregular workloads. *)
+let test_sched_ws_monotone () =
+  List.iter
+    (fun bench ->
+      let m1 = policy_makespan Mpthreads.Sched_policy.Ws bench 1 in
+      let m4 = policy_makespan Mpthreads.Sched_policy.Ws bench 4 in
+      checkb
+        (Printf.sprintf "ws %s: procs 4 (%d) beats procs 1 (%d)" bench m4 m1)
+        true (m4 < m1))
+    [ "mm"; "allpairs"; "mst"; "fib" ]
+
+(* The headline acceptance: work stealing >= 1.2x over the central FIFO
+   baseline at 16 procs on at least two irregular workloads (measured
+   margins: mst ~2.0x, fib ~9x), and never slower on the others. *)
+let test_sched_ws_beats_fifo () =
+  let ratio bench =
+    let f = policy_makespan Mpthreads.Sched_policy.Fifo bench 16 in
+    let w = policy_makespan Mpthreads.Sched_policy.Ws bench 16 in
+    float_of_int f /. float_of_int w
+  in
+  List.iter
+    (fun bench ->
+      checkb
+        (Printf.sprintf "ws >= 1.2x fifo on %s@16" bench)
+        true
+        (ratio bench >= 1.2))
+    [ "mst"; "fib" ];
+  List.iter
+    (fun bench ->
+      checkb
+        (Printf.sprintf "ws not slower than fifo on %s@16" bench)
+        true
+        (ratio bench >= 1.0))
+    [ "mm"; "allpairs" ]
+
+(* Every policy in the family completes every workload with the right
+   result witness (virtual times differ by design). *)
+let test_sched_all_policies_correct () =
+  let expected = List.map (fun (b, _) -> (b, GB.run_named b ~procs:4)) golden in
+  List.iter
+    (fun sched ->
+      List.iter
+        (fun (bench, want) ->
+          check
+            (Printf.sprintf "%s under %s" bench
+               (Mpthreads.Sched_policy.to_string sched))
+            want
+            (GB.run_named ~sched bench ~procs:4))
+        expected)
+    Mpthreads.Sched_policy.[ Fifo; Lifo; Ws; Micropools 4 ]
+
 (* ---------------- sim-core host cost budget ---------------- *)
 
 (* Smoke check that the run-ahead fast path stays effective: on a fixed
@@ -662,6 +740,17 @@ let () =
           Alcotest.test_case "horizon assertion mode matches goldens" `Quick
             test_horizon_debug_matches_golden;
           Alcotest.test_case "suspension budget" `Quick test_suspension_budget;
+        ] );
+      ( "sched-policies",
+        [
+          Alcotest.test_case "explicit default = golden" `Quick
+            test_sched_default_identity;
+          Alcotest.test_case "ws speedup monotone 1->4" `Slow
+            test_sched_ws_monotone;
+          Alcotest.test_case "ws beats central fifo at 16" `Slow
+            test_sched_ws_beats_fifo;
+          Alcotest.test_case "all policies correct" `Slow
+            test_sched_all_policies_correct;
         ] );
       ( "properties",
         [

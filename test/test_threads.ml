@@ -259,6 +259,28 @@ let test_sched_switch_count () =
           S.fork_join (List.init 10 (fun _ () -> S.yield ()))));
   checkb "switches recorded" true (S.switches () > 0)
 
+(* ---------------- scheduler policy family ---------------- *)
+
+(* Every policy must complete the same fork_join workload on the
+   preemptive domains backend. *)
+let test_policy_fork_join_all () =
+  List.iter
+    (fun sched ->
+      let v =
+        D.run (fun () ->
+            S.with_pool ~sched (fun () ->
+                let acc = Atomic.make 0 in
+                S.fork_join
+                  (List.init 20 (fun i () ->
+                       ignore (Atomic.fetch_and_add acc i)));
+                Atomic.get acc))
+      in
+      check
+        (Printf.sprintf "sum under %s" (Mpthreads.Sched_policy.to_string sched))
+        190 v)
+    Mpthreads.Sched_policy.[ Fifo; Lifo; Distributed; Ws; Micropools 2 ]
+
+
 (* ---------------- timers (Sched) ---------------- *)
 
 (* deterministic virtual-time platform for timer tests *)
@@ -311,6 +333,42 @@ let test_sleeping_threads_in_parallel () =
   checkb "concurrent sleeps overlap" true (elapsed < 0.2)
 
 (* ---------------- ML Threads ---------------- *)
+
+(* On a single proc the dispatch order is exactly the queue discipline:
+   central FIFO runs forks oldest-first, central LIFO newest-first.
+   Run on the simulator so the order is deterministic. *)
+let policy_order sched =
+  TP.run (fun () ->
+      TS.with_pool ~procs:1 ~sched (fun () ->
+          let order = ref [] in
+          TS.fork_join (List.init 3 (fun i () -> order := (i + 1) :: !order));
+          List.rev !order))
+
+let test_policy_fifo_order () =
+  check_list "central fifo runs oldest first" [ 1; 2; 3 ]
+    (policy_order Mpthreads.Sched_policy.Fifo)
+
+let test_policy_lifo_order () =
+  check_list "central lifo runs newest first" [ 3; 2; 1 ]
+    (policy_order Mpthreads.Sched_policy.Lifo)
+
+(* Work stealing on the 4-proc simulator: the root proc forks everything
+   into its own queue, so any work a worker proc performs was stolen —
+   the steal counters must show hits, and attempts dominate hits. *)
+let test_policy_ws_steals () =
+  let v =
+    TP.run (fun () ->
+        TS.with_pool ~procs:4 ~sched:Mpthreads.Sched_policy.Ws (fun () ->
+            let acc = Atomic.make 0 in
+            TS.fork_join
+              (List.init 40 (fun _ () ->
+                   TS.yield ();
+                   Atomic.incr acc));
+            Atomic.get acc))
+  in
+  check "all tasks ran" 40 v;
+  checkb "steals observed" true (TS.steals () > 0);
+  checkb "attempts >= hits" true (TS.steal_attempts () >= TS.steals ())
 
 module Ml = Mpthreads.Ml_threads.Make (D) (S)
 
@@ -600,6 +658,16 @@ let () =
           Alcotest.test_case "pool size" `Quick test_sched_pool_size;
           Alcotest.test_case "many yields" `Quick test_sched_yield_many;
           Alcotest.test_case "switch count" `Quick test_sched_switch_count;
+        ] );
+      ( "sched policies",
+        [
+          Alcotest.test_case "all policies fork_join" `Quick
+            test_policy_fork_join_all;
+          Alcotest.test_case "fifo dispatch order" `Quick
+            test_policy_fifo_order;
+          Alcotest.test_case "lifo dispatch order" `Quick
+            test_policy_lifo_order;
+          Alcotest.test_case "ws steals on sim" `Quick test_policy_ws_steals;
         ] );
       ( "timers",
         [

@@ -328,6 +328,13 @@ let test_par_seq_copies () =
   check "copies" 4 (B.seq ~procs:4 ~work:50_000 ());
   check "explicit copies" 6 (B.seq ~procs:2 ~copies:6 ~work:50_000 ())
 
+let test_par_fib_matches () =
+  let rec f k = if k < 2 then k else f (k - 1) + f (k - 2) in
+  check "p=1" (f 18) (B.fib ~procs:1 ~n:18 ());
+  check "p=4" (f 18) (B.fib ~procs:4 ~n:18 ());
+  (* cutoff above n: fully sequential leaf *)
+  check "all-leaf" (f 10) (B.fib ~procs:1 ~n:10 ~cutoff:12 ())
+
 let test_speedup_exists () =
   ignore (B.mm ~procs:1 ~n:40 ());
   let t1 = (P.stats ()).Mp.Stats.elapsed in
@@ -398,6 +405,7 @@ let () =
           Alcotest.test_case "abisort" `Slow test_par_abisort_sorts;
           Alcotest.test_case "simple" `Slow test_par_simple_matches;
           Alcotest.test_case "seq copies" `Quick test_par_seq_copies;
+          Alcotest.test_case "fib" `Quick test_par_fib_matches;
           Alcotest.test_case "speedup exists" `Slow test_speedup_exists;
         ] );
     ]
