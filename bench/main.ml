@@ -467,6 +467,7 @@ let print_sensitivity () =
 (* ------------------------------------------------------------------ *)
 
 type sim_core_row = {
+  sc_machine : string;
   sc_sched : string;
   sc_bench : string;
   sc_procs : int;
@@ -476,6 +477,8 @@ type sim_core_row = {
   sc_coalesced : int;
   sc_heap_ops : int;
   sc_makespan : int;
+  sc_remote_bytes : int;
+  sc_invalidations : int;
 }
 
 (* One sim-core cell on a private machine instance, so cells can fan
@@ -483,10 +486,10 @@ type sim_core_row = {
    (the JSON keeps the dump of the grid's last cell, which is what the
    shared-instance driver effectively reported too, since machine
    counters are overwritten per run). *)
-let sim_core_cell (sched, bench, procs) =
+let sim_core_cell (machine, sched, bench, procs) =
   let module S =
     Sim.Mp_sim.Int (struct
-        let config = Sim.Sim_config.sequent ~procs:16 ~sched ()
+        let config = Sim.Sim_config.of_machine_string_exn ~sched machine
       end)
       ()
   in
@@ -496,6 +499,7 @@ let sim_core_cell (sched, bench, procs) =
     (B.run_named ~sched:(Mpthreads.Sched_policy.of_string_exn sched) bench
        ~procs);
   ( {
+      sc_machine = machine;
       sc_sched = sched;
       sc_bench = bench;
       sc_procs = procs;
@@ -505,6 +509,8 @@ let sim_core_cell (sched, bench, procs) =
       sc_coalesced = S.Machine.coalesced_charges ();
       sc_heap_ops = S.Machine.heap_ops ();
       sc_makespan = S.Machine.makespan_cycles ();
+      sc_remote_bytes = S.Machine.remote_bytes ();
+      sc_invalidations = S.Machine.invalidations ();
     },
     Obs.Counters.dump S.Telemetry.counters )
 
@@ -513,15 +519,41 @@ let sim_core_cell (sched, bench, procs) =
    unchanged), then the central-FIFO baseline and work stealing. *)
 let sim_core_scheds = [ "distributed"; "fifo"; "ws" ]
 
-let sim_core_rows ~jobs () =
+(* The large-P NUMA block: the canonical 1024-proc hierarchical machine
+   (16 nodes x 64 procs), swept at the powers of four where the
+   lock/scheduler families separate — the distributed rotor's cross-node
+   lock RMWs saturate the shared link while node-aware work stealing
+   stays close to its node-local cost.  mm is the quick column (one
+   1024-proc cell stays within the host-seconds guard, see
+   test_sim.ml); fib — deep task parallelism — and the central-FIFO
+   collapse exhibit join on full runs. *)
+let sim_numa_machine = "numa1024"
+
+let sim_numa_cells ~quick =
+  let numa_procs = [ 1; 64; 256; 1024 ] in
+  List.concat_map
+    (fun sched ->
+      List.concat_map
+        (fun bench ->
+          List.map
+            (fun procs -> (sim_numa_machine, sched, bench, procs))
+            numa_procs)
+        (if quick then [ "mm" ] else [ "mm"; "fib" ]))
+    [ "distributed"; "ws" ]
+  @
+  if quick then []
+  else List.map (fun p -> (sim_numa_machine, "fifo", "fib", p)) [ 1; 64; 256 ]
+
+let sim_core_rows ~jobs ~quick () =
   let cells =
     List.concat_map
       (fun sched ->
         List.concat_map
           (fun bench ->
-            List.map (fun procs -> (sched, bench, procs)) [ 1; 4; 16 ])
+            List.map (fun procs -> ("sequent", sched, bench, procs)) [ 1; 4; 16 ])
           BSeq.names)
       sim_core_scheds
+    @ sim_numa_cells ~quick
   in
   Exec.Job_pool.map ~jobs sim_core_cell cells
 
@@ -532,13 +564,14 @@ let print_sim_core rows =
   Report.Render.table fmt
     ~header:
       [
-        "sched"; "bench"; "procs"; "host s"; "decisions"; "suspensions";
-        "coalesced";
+        "machine"; "sched"; "bench"; "procs"; "host s"; "decisions";
+        "suspensions"; "coalesced"; "remote B";
       ]
     ~rows:
       (List.map
          (fun r ->
            [
+             r.sc_machine;
              r.sc_sched;
              r.sc_bench;
              string_of_int r.sc_procs;
@@ -546,6 +579,7 @@ let print_sim_core rows =
              string_of_int r.sc_decisions;
              string_of_int r.sc_susp;
              string_of_int r.sc_coalesced;
+             string_of_int r.sc_remote_bytes;
            ])
          rows);
   let tot f = List.fold_left (fun acc r -> acc + f r) 0 rows in
@@ -563,12 +597,15 @@ let write_sim_json rows counters path =
     Seq16.Machine.config.Sim.Sim_config.name;
   Printf.fprintf oc "  \"workloads\": [\n";
   let n = List.length rows in
-  (* Speedup of each cell vs the same (workload, scheduler) procs=1
-     makespan, so the per-policy scaling curves are self-relative. *)
-  let makespan1 sched bench =
+  (* Speedup of each cell vs the same (machine, workload, scheduler)
+     procs=1 makespan, so the per-policy scaling curves are self-relative
+     within each machine model. *)
+  let makespan1 machine sched bench =
     match
       List.find_opt
-        (fun r -> r.sc_sched = sched && r.sc_bench = bench && r.sc_procs = 1)
+        (fun r ->
+          r.sc_machine = machine && r.sc_sched = sched && r.sc_bench = bench
+          && r.sc_procs = 1)
         rows
     with
     | Some r -> Some r.sc_makespan
@@ -577,18 +614,20 @@ let write_sim_json rows counters path =
   List.iteri
     (fun i r ->
       let speedup =
-        match makespan1 r.sc_sched r.sc_bench with
+        match makespan1 r.sc_machine r.sc_sched r.sc_bench with
         | Some m1 when r.sc_makespan > 0 ->
             float_of_int m1 /. float_of_int r.sc_makespan
         | _ -> nan
       in
       Printf.fprintf oc
-        "    {\"name\": %S, \"scheduler\": %S, \"procs\": %d, \
-         \"host_seconds\": %.6f, \"sched_decisions\": %d, \"suspensions\": \
-         %d, \"coalesced_charges\": %d, \"heap_ops\": %d, \
-         \"makespan_cycles\": %d, \"speedup\": %.4f}%s\n"
-        r.sc_bench r.sc_sched r.sc_procs r.sc_host r.sc_decisions r.sc_susp
-        r.sc_coalesced r.sc_heap_ops r.sc_makespan speedup
+        "    {\"name\": %S, \"machine\": %S, \"scheduler\": %S, \"procs\": \
+         %d, \"host_seconds\": %.6f, \"sched_decisions\": %d, \
+         \"suspensions\": %d, \"coalesced_charges\": %d, \"heap_ops\": %d, \
+         \"makespan_cycles\": %d, \"bus.remote_bytes\": %d, \
+         \"cache.invalidations\": %d, \"speedup\": %.4f}%s\n"
+        r.sc_bench r.sc_machine r.sc_sched r.sc_procs r.sc_host r.sc_decisions
+        r.sc_susp r.sc_coalesced r.sc_heap_ops r.sc_makespan r.sc_remote_bytes
+        r.sc_invalidations speedup
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";
@@ -653,7 +692,7 @@ let () =
     jobs
     (if jobs = 1 then "" else "s")
     sched_str;
-  let sim_cells = sim_core_rows ~jobs () in
+  let sim_cells = sim_core_rows ~jobs ~quick () in
   let sim_rows = List.map fst sim_cells in
   let last_counters =
     match List.rev sim_cells with (_, d) :: _ -> d | [] -> []

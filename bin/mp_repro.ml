@@ -43,6 +43,17 @@ let sched_arg =
 let resolve_sched explicit =
   Mpthreads.Sched_policy.(to_string (resolve ?explicit ()))
 
+let machine_arg =
+  let doc =
+    "Machine model for the sweep: \
+     $(b,sequent)|$(b,sgi)|$(b,numa:<nodes>x<procs>)|$(b,numa1024) (e.g. \
+     $(b,numa:4x16) = 4 nodes of 16 procs each, joined by a shared \
+     inter-node link).  Default $(b,sequent), the paper's flat-bus \
+     machine.  Machines larger than 16 procs default to the \
+     powers-of-four proc list 1,4,...,1024 clamped to the machine."
+  in
+  Arg.(value & opt (some string) None & info [ "machine" ] ~docv:"MACHINE" ~doc)
+
 let trace_arg =
   let doc =
     "Stream telemetry events (scheduler, lock, GC, ...) to $(docv) as JSONL \
@@ -61,38 +72,58 @@ let plist_of quick procs =
   | Some l -> Some l
   | None -> if quick then Some [ 1; 4; 16 ] else None
 
-let sweep quick procs jobs sched =
-  Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ?jobs
-    ~sched:(resolve_sched sched) ()
+(* A sweep routed by machine: the flat Sequent keeps its dedicated (cached,
+   traceable) driver; any other machine goes through the parameterized
+   machine sweep.  --quick on a >16-proc machine trims the tail of the
+   powers-of-four list rather than using the flat 1,4,16 grid. *)
+let sweep ?machine quick procs jobs sched =
+  let sched = resolve_sched sched in
+  match machine with
+  | None | Some "sequent" ->
+      Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ?jobs
+        ~sched ()
+  | Some machine ->
+      let plist =
+        match procs with
+        | Some l -> Some l
+        | None -> if quick then Some [ 1; 4; 16; 64 ] else None
+      in
+      Report.Experiments.machine_sweep ?plist ?jobs ~sched ~machine ()
 
 let fig6_cmd =
-  let run quick procs jobs sched trace =
+  let run quick procs jobs sched machine trace =
     maybe_trace trace (fun () ->
-        Report.Experiments.print_fig6 fmt (sweep quick procs jobs sched))
+        Report.Experiments.print_fig6 fmt (sweep ?machine quick procs jobs sched))
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Self-relative speedup curves (Figure 6)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ trace_arg)
+    Term.(
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg
+      $ trace_arg)
 
 let idle_cmd =
-  let run quick procs jobs sched =
-    Report.Experiments.print_idle fmt (sweep quick procs jobs sched)
+  let run quick procs jobs sched machine =
+    Report.Experiments.print_idle fmt (sweep ?machine quick procs jobs sched)
   in
   Cmd.v (Cmd.info "idle" ~doc:"Processor idle fractions (E4)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
+    Term.(
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg)
 
 let bus_cmd =
-  let run quick procs jobs sched =
-    Report.Experiments.print_bus fmt (sweep quick procs jobs sched)
+  let run quick procs jobs sched machine =
+    Report.Experiments.print_bus fmt (sweep ?machine quick procs jobs sched)
   in
   Cmd.v (Cmd.info "bus" ~doc:"Memory-bus traffic and contention (E5)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
+    Term.(
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg)
 
 let gc_cmd =
-  let run quick procs jobs sched =
-    Report.Experiments.print_gc_ablation fmt (sweep quick procs jobs sched)
+  let run quick procs jobs sched machine =
+    Report.Experiments.print_gc_ablation fmt
+      (sweep ?machine quick procs jobs sched)
   in
   Cmd.v (Cmd.info "gc" ~doc:"GC ablation (E6)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
+    Term.(
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg)
 
 let sgi_cmd =
   let run quick procs jobs sched =
@@ -116,11 +147,11 @@ let portability_cmd =
     Term.(const run $ const ())
 
 let all_cmd =
-  let run quick procs jobs sched trace =
+  let run quick procs jobs sched machine trace =
     Report.Experiments.print_lock_latency fmt;
     Report.Experiments.print_portability fmt;
     maybe_trace trace (fun () ->
-        let s = sweep quick procs jobs sched in
+        let s = sweep ?machine quick procs jobs sched in
         Report.Experiments.print_fig6 fmt s;
         Report.Experiments.print_idle fmt s;
         Report.Experiments.print_bus fmt s;
@@ -131,7 +162,9 @@ let all_cmd =
          ?jobs ~sched:(resolve_sched sched) ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Every evaluation section")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ trace_arg)
+    Term.(
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg
+      $ trace_arg)
 
 let () =
   let info =

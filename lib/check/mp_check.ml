@@ -45,6 +45,11 @@ module type S = sig
 
   val spawn : (unit -> unit) -> unit
 
+  val set_nodes : int -> unit
+  (** Group the procs into [n] contiguous interconnect nodes (reported by
+      [Proc.nodes]/[Proc.node_of]) for node-aware scheduler scenarios;
+      clamped to [1 .. max_procs].  Must be called outside [run]. *)
+
   module Explore : sig
     val dfs :
       ?bound:int ->
@@ -118,6 +123,16 @@ struct
   let running = ref false
   let cur = ref 0
   let nsteps = ref 0
+
+  (* Interconnect topology reported by [Proc.nodes]/[Proc.node_of]:
+     scenarios set it (outside [run]) to explore node-aware scheduler
+     behavior; it is read-only during exploration, so replay stays
+     deterministic. *)
+  let topo_nodes = ref 1
+
+  let set_nodes n =
+    if !running then invalid_arg "Mp_check.set_nodes: run in progress";
+    topo_nodes := max 1 (min n n_procs)
   let failed : exn option ref = ref None
   let last_chosen = ref (-1)
   let preempts = ref 0
@@ -369,6 +384,15 @@ struct
     let live_procs () =
       Array.fold_left (fun n p -> if p.state = Free then n else n + 1) 0 procs
 
+    (* Topology under exploration: [set_nodes] (below, module level) groups
+       the procs into contiguous nodes so node-aware scheduler paths can be
+       model-checked; 1 (the default) is the flat machine. *)
+    let nodes () = !topo_nodes
+
+    let node_of p =
+      let n = !topo_nodes in
+      if n <= 1 then 0 else p / ((n_procs + n - 1) / n)
+
     let acquire_proc (PS (k, d)) =
       sched_point ~op:"proc.acquire" K_plain;
       incr n_acquire;
@@ -403,6 +427,17 @@ struct
     let charge _ = ()
     let alloc ~words:_ = ()
     let traffic ~bytes:_ = ()
+
+    (* Lines carry no cost here, but the sharing protocol is still worth
+       exploring: scenarios can read the tracked sharer set back through
+       the cell layer to check the claim/invalidate discipline. *)
+    type line = { mutable sharers : int }
+
+    let line () = { sharers = 0 }
+    let read_line ln = ln.sharers <- ln.sharers lor (1 lsl Proc.node_of !cur)
+
+    let write_line ln ~bytes:_ =
+      ln.sharers <- 1 lsl Proc.node_of !cur
 
     let poll () =
       sched_point ~op:"work.poll" K_plain;

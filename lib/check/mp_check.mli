@@ -65,6 +65,12 @@ module type S = sig
       the thunk returns.  The caller continues immediately.
       @raise Mp.Mp_intf.No_More_Procs when the pool is exhausted. *)
 
+  val set_nodes : int -> unit
+  (** Group the procs into [n] contiguous interconnect nodes (reported by
+      [Proc.nodes]/[Proc.node_of]) so node-aware scheduler paths can be
+      explored; clamped to [1 .. max_procs], default 1 (flat).  Constant
+      during a run — call it outside [run], typically at scenario start. *)
+
   module Explore : sig
     val dfs :
       ?bound:int ->

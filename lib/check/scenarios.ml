@@ -276,6 +276,95 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
           (List.rev !got = [ 1; 2 ])
           "bounded_queue: FIFO order or content violated")
 
+  (* ---- hierarchical (NUMA) topology ----------------------------------- *)
+
+  (* Run a scenario body with the procs split into [n] contiguous nodes,
+     restoring the flat default afterwards (the rest of the corpus assumes
+     it).  [set_nodes] must bracket [C.run], not sit inside it. *)
+  let with_nodes n body () =
+    C.set_nodes n;
+    Fun.protect ~finally:(fun () -> C.set_nodes 1) body
+
+  (* A contended-lock invalidation episode across nodes: both procs (one
+     per node under [with_nodes 2]) take the platform lock and perform the
+     read-snoop / RMW-claim sequence on one cache line — the access shape
+     the simulator charges invalidation traffic for.  Exploration drives
+     every interleaving of the probes, the in-section poll and the line
+     operations; exclusion and line-API neutrality must survive all of
+     them. *)
+  let numa_lock_invalidation_scenario =
+    with_nodes 2 (fun () ->
+        C.run (fun () ->
+            let l = C.Lock.mutex_lock () in
+            let ln = C.Work.line () in
+            let in_cs = ref 0 in
+            let overlap = ref false in
+            let writes = ref 0 in
+            let crit () =
+              C.Lock.lock l;
+              incr in_cs;
+              if !in_cs > 1 then overlap := true;
+              C.Work.read_line ln;
+              C.Work.poll ();
+              C.Work.write_line ln ~bytes:8;
+              incr writes;
+              decr in_cs;
+              C.Lock.unlock l
+            in
+            C.spawn crit;
+            crit ();
+            join ();
+            check (C.Proc.nodes () = 2) "numa lock: topology not in effect";
+            check (not !overlap) "numa lock: exclusion violated across nodes";
+            check (!writes = 2) "numa lock: a node lost its line write"))
+
+  (* Node-aware work stealing across the link: with one proc per node, all
+     of proc 0's steals are remote (the same-node sweep sees nobody), so
+     this drives the cross-node half of the victim sweep.  Work pushed on
+     node 1 must remain reachable from node 0 — node awareness is a
+     preference, never a partition — and nothing may be lost or doubled. *)
+  let numa_ws_steal_scenario =
+    with_nodes 2 (fun () ->
+        C.run (fun () ->
+            let module Pol = Mpthreads.Sched_policy.Make (C) in
+            let (module S) = Pol.instance Mpthreads.Sched_policy.Ws in
+            let q = S.create ~procs:2 in
+            S.prepare q ~procs:2;
+            let got = ref [] in
+            let consume ~proc =
+              match S.take q ~proc with
+              | Some v -> got := v :: !got
+              | None -> ()
+            in
+            (* The ws deques are lock-free (no visible cell ops under the
+               checker), so interleave at explicit poll points: every
+               ordering of the two procs' pushes and takes is explored. *)
+            C.spawn (fun () ->
+                S.push_local q ~proc:1 10;
+                C.Work.poll ();
+                S.push_local q ~proc:1 11;
+                consume ~proc:1);
+            S.push_local q ~proc:0 20;
+            C.Work.poll ();
+            consume ~proc:0;
+            join ();
+            (* drain the remainder from node 0: remote steals *)
+            let rec drain budget =
+              if budget > 0 then
+                match S.take q ~proc:0 with
+                | Some v ->
+                    got := v :: !got;
+                    drain (budget - 1)
+                | None -> if S.looks_nonempty q ~proc:0 then drain (budget - 1)
+            in
+            drain 16;
+            check
+              (List.sort compare !got = [ 10; 11; 20 ])
+              "numa ws: lost, duplicated or invented an element";
+            check
+              (not (S.looks_nonempty q ~proc:0))
+              "numa ws: emptiness hint stuck nonempty on a drained queue"))
+
   (* ---- a minimal scheduler for the thread-level packages -------------- *)
 
   (* Proc-per-thread scheduler with NO internal serialization points: the
@@ -445,6 +534,8 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("cml_rendezvous", cml_rendezvous_scenario);
       ("cml_choose", cml_choose_scenario);
       ("proc_pool", proc_pool_scenario);
+      ("numa_lock_invalidation", numa_lock_invalidation_scenario);
+      ("numa_ws_steal", numa_ws_steal_scenario);
     ]
 
   (* One pool scenario per scheduler policy: the whole family must survive

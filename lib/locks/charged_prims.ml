@@ -15,7 +15,11 @@ module Default_costs : COSTS = struct
 end
 
 module Make (P : Mp.Mp_intf.PLATFORM) (C : COSTS) = struct
-  type 'a cell = 'a Atomic.t
+  (* Each cell carries a platform cache line so the simulator can track
+     which nodes have it cached: reads add the reader's node to the sharer
+     set, RMWs claim it exclusive and pay for cross-node transfers and
+     invalidations.  On real backends [P.Work.line] is stateless and free. *)
+  type 'a cell = { v : 'a Atomic.t; ln : P.Work.line }
 
   let spins = ref 0
 
@@ -24,40 +28,46 @@ module Make (P : Mp.Mp_intf.PLATFORM) (C : COSTS) = struct
      platform Lock's own "lock.spins". *)
   let c_spins = P.Telemetry.counter "lock.prims_spins"
 
-  let make v = Atomic.make v
+  let make v = { v = Atomic.make v; ln = P.Work.line () }
 
   let get c =
     P.Work.charge C.read_cycles;
-    Atomic.get c
+    let r = Atomic.get c.v in
+    P.Work.read_line c.ln;
+    r
 
   (* Observation-only read for scheduler idle predicates, which must be
      charge-free: [Work.idle_until ~ready] evaluates its predicate from
-     scheduler context where charging would corrupt virtual time. *)
-  let unsafe_peek c = Atomic.get c
+     scheduler context where charging would corrupt virtual time.  It does
+     not touch the sharer set either (no proc context there). *)
+  let unsafe_peek c = Atomic.get c.v
 
   let set c v =
     P.Work.charge C.write_cycles;
-    Atomic.set c v
+    Atomic.set c.v v
 
   (* An RMW is a bus transaction: it charges the probing proc AND occupies
      the shared bus, which is how spinning TAS probes slow everyone else
-     down (Anderson's effect). *)
+     down (Anderson's effect).  Routing goes through the cell's line, so
+     on a hierarchical machine a probe against a word cached on another
+     node crosses the inter-node link and invalidates the remote copies —
+     which is what separates local-spin locks from RMW-spinners at scale. *)
   let rmw_bus_bytes = 8
 
   let exchange c v =
     P.Work.charge C.rmw_cycles;
-    P.Work.traffic ~bytes:rmw_bus_bytes;
-    Atomic.exchange c v
+    P.Work.write_line c.ln ~bytes:rmw_bus_bytes;
+    Atomic.exchange c.v v
 
   let compare_and_set c old v =
     P.Work.charge C.rmw_cycles;
-    P.Work.traffic ~bytes:rmw_bus_bytes;
-    Atomic.compare_and_set c old v
+    P.Work.write_line c.ln ~bytes:rmw_bus_bytes;
+    Atomic.compare_and_set c.v old v
 
   let fetch_and_add c n =
     P.Work.charge C.rmw_cycles;
-    P.Work.traffic ~bytes:rmw_bus_bytes;
-    Atomic.fetch_and_add c n
+    P.Work.write_line c.ln ~bytes:rmw_bus_bytes;
+    Atomic.fetch_and_add c.v n
 
   let pause () = P.Work.charge C.pause_cycles
 

@@ -6,12 +6,32 @@ type params = {
   max_par : float;
 }
 
-let time p ~procs =
+type topology = {
+  nodes : int;
+  procs_per_node : int;
+  link_seconds : float;
+}
+
+let flat = { nodes = 1; procs_per_node = max_int; link_seconds = 0. }
+
+let nodes_active topo ~procs =
+  if topo.nodes <= 1 || procs <= 0 then 1
+  else
+    min topo.nodes ((procs + topo.procs_per_node - 1) / topo.procs_per_node)
+
+let time ?(topology = flat) p ~procs =
   let par = min (float_of_int procs) p.max_par in
   let cpu = (p.work /. par) +. p.serial +. p.gc in
-  max cpu p.bus_seconds
+  let active = nodes_active topology ~procs in
+  (* The run's traffic spreads over the node buses actually in use; once a
+     second node joins, the shared link's occupancy becomes a floor of its
+     own.  One active node reduces to the flat-bus bound. *)
+  let bus = p.bus_seconds /. float_of_int active in
+  let link = if active > 1 then topology.link_seconds else 0. in
+  max cpu (max bus link)
 
-let speedup p ~procs = time p ~procs:1 /. time p ~procs
+let speedup ?(topology = flat) p ~procs =
+  time ~topology p ~procs:1 /. time ~topology p ~procs
 
 let fit ~elapsed1 ~gc1 ~bus_busy1 ?(serial = 0.) ?(max_par = infinity) () =
   {

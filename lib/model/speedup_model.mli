@@ -28,8 +28,30 @@ type params = {
   max_par : float;  (** parallelism cap (infinity if none) *)
 }
 
-val time : params -> procs:int -> float
-val speedup : params -> procs:int -> float
+type topology = {
+  nodes : int;  (** interconnect nodes (1 = flat bus) *)
+  procs_per_node : int;  (** procs filled per node, contiguous blocks *)
+  link_seconds : float;
+      (** cross-node traffic / link bandwidth once >1 node is active *)
+}
+(** Hierarchical-machine refinement of the bus bound, mirroring
+    {!Sim.Sim_config.machine}'s Numa shape.  Procs fill nodes in
+    contiguous blocks, so [p] procs occupy [ceil(p / procs_per_node)]
+    nodes: the traffic bound becomes [bus_seconds] divided by the active
+    node count (each node has a private bus), and as soon as a second
+    node is active the shared inter-node link adds its own floor of
+    [link_seconds].  This predicts the NUMA knee: the curve tracks the
+    flat model while the pool fits one node, then flattens at
+    [link_seconds] when cross-node traffic saturates the link. *)
+
+val flat : topology
+(** One node, no link: both bounds reduce to the flat-bus model. *)
+
+val nodes_active : topology -> procs:int -> int
+(** Nodes occupied by a contiguous pool of [procs] procs (at least 1). *)
+
+val time : ?topology:topology -> params -> procs:int -> float
+val speedup : ?topology:topology -> params -> procs:int -> float
 
 val fit :
   elapsed1:float -> gc1:float -> bus_busy1:float -> ?serial:float ->

@@ -155,6 +155,9 @@ module Make
       in
       Mutex.unlock m;
       n
+
+    let nodes () = 1
+    let node_of _ = 0
   end
 
   module Lock = struct
@@ -208,6 +211,12 @@ module Make
     let charge _ = ()
     let alloc ~words:_ = ()
     let traffic ~bytes:_ = ()
+
+    type line = unit
+
+    let line () = ()
+    let read_line _ = ()
+    let write_line _ ~bytes:_ = ()
     let poll () = !hook ()
     let set_poll_hook f = hook := f
     let idle () = Domain.cpu_relax ()

@@ -67,6 +67,16 @@ module type PROC = sig
 
   val live_procs : unit -> int
   (** Number of procs currently acquired (including the root). *)
+
+  val nodes : unit -> int
+  (** Number of interconnect nodes the procs are grouped into.  1 on every
+      backend except a simulator configured with a hierarchical (NUMA)
+      machine; node-aware schedulers use it to keep work node-local. *)
+
+  val node_of : int -> int
+  (** Node of a proc index (always 0 when {!nodes} is 1).  Total over
+      [0 .. max_procs - 1] and constant for the life of the platform, so
+      schedulers may consult it from any proc without synchronization. *)
 end
 
 (** Mutual exclusion (paper §3.3). *)
@@ -120,7 +130,30 @@ module type WORK = sig
   val traffic : bytes:int -> unit
   (** Account for raw shared-bus traffic that is not allocation (cache
       misses on shared data, lock RMW transactions).  No-op on real
-      backends. *)
+      backends.  Always node-local under a NUMA machine; traffic on words
+      shared across nodes goes through {!write_line}. *)
+
+  type line
+  (** A cache line holding one contended shared word (a lock or run-queue
+      word).  The simulator tracks which nodes cache the line; on real
+      backends (where the hardware coherence protocol does the job) lines
+      carry no state and the operations below are free. *)
+
+  val line : unit -> line
+  (** A fresh line, cached nowhere. *)
+
+  val read_line : line -> unit
+  (** Record that the calling proc's node now caches the line (a read
+      snoop).  Charge-free: the cost model prices reads through [charge]
+      as before; this only feeds the sharing state {!write_line} consults. *)
+
+  val write_line : line -> bytes:int -> unit
+  (** One RMW/write bus transaction on the line: claim it exclusive for
+      the calling proc's node and account [bytes] of traffic.  If no other
+      node cached the line this is exactly [traffic ~bytes] (node-local);
+      otherwise the transfer crosses the inter-node link and each remote
+      copy is invalidated (counted under ["cache.invalidations"]).  No-op
+      on real backends, like [traffic]. *)
 
   val poll : unit -> unit
   (** Safe point: give the platform (and, through the poll hook, the thread

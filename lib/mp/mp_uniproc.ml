@@ -25,6 +25,8 @@ struct
     let self () = 0
     let max_procs () = 1
     let live_procs () = 1
+    let nodes () = 1
+    let node_of _ = 0
   end
 
   module Telemetry = Mp_intf.Telemetry_of (struct
@@ -77,6 +79,12 @@ struct
     let charge _ = ()
     let alloc ~words:_ = ()
     let traffic ~bytes:_ = ()
+
+    type line = unit
+
+    let line () = ()
+    let read_line _ = ()
+    let write_line _ ~bytes:_ = ()
     let poll () = !hook ()
     let set_poll_hook f = hook := f
     let idle () = ()

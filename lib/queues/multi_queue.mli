@@ -36,10 +36,11 @@ module Make (L : Mp.Mp_intf.LOCK) : sig
   (** Steal from some other proc's queue only. *)
 
   val looks_nonempty : 'a t -> bool
-  (** Racy, lock-free hint: [true] iff some deque currently looks
-      non-empty — the same peeks [take]'s all-empty failure path performs.
-      Suitable as an idle poller's readiness predicate: reads only, takes
-      no locks, performs no platform charges. *)
+  (** Racy, lock-free hint: [true] iff the queue currently holds items,
+      read from an exact counter maintained inside the slot locks (O(1),
+      no per-deque scan).  Suitable as an idle poller's readiness
+      predicate: reads only, takes no locks, performs no platform
+      charges. *)
 
   val looks_nonempty_local : 'a t -> proc:int -> bool
   (** Like {!looks_nonempty}, restricted to [proc]'s own deque (the peek

@@ -7,7 +7,8 @@
     implementations. *)
 
 type sample = {
-  machine : string;  (** "sequent" or "sgi" *)
+  machine : string;
+      (** machine name: "sequent", "sgi", or a "numa:<nodes>x<procs>" *)
   sched : string;  (** scheduling policy the cell ran under *)
   bench : string;
   procs : int;
@@ -48,6 +49,19 @@ val sgi_sweep :
   ?plist:int list -> ?jobs:int -> ?sched:string -> unit -> sample list
 (** Sweep on the 8-processor SGI model (cached); [jobs] and [sched] as in
     {!sequent_sweep}. *)
+
+val machine_sweep :
+  ?plist:int list ->
+  ?jobs:int ->
+  ?sched:string ->
+  machine:string ->
+  unit ->
+  sample list
+(** Sweep on any {!Sim.Sim_config.of_machine_string} selector (["sequent"],
+    ["sgi"], ["numa:<nodes>x<procs>"], ["numa1024"]); cached per
+    (machine, sched).  Machines larger than 16 procs default to the
+    powers-of-four proc list [1; 4; 16; 64; 256; 1024] clamped to the
+    machine size; [jobs] and [sched] as in {!sequent_sweep}. *)
 
 val trace_sequent : string -> (unit -> 'a) -> 'a
 (** [trace_sequent path f] runs [f] with the Sequent platform's telemetry

@@ -51,8 +51,14 @@ struct
   }
 
   (* Lock representation, lifted out of [module Lock] so the scheduler's
-     lock state machine (below) can name it. *)
-  type sim_lock = { mutable held : bool }
+     lock state machine (below) can name it.  [sharers] is the set of nodes
+     whose caches hold the lock word (a bitmask); every probe/release is an
+     RMW that claims the line exclusive, so under a hierarchical machine a
+     probe from a node outside the sharer set crosses the inter-node link
+     and invalidates the remote copies.  Under [Flat_bus] there is one node,
+     the sharer set is always a subset of [{0}], and the remote path is
+     unreachable — the arithmetic is exactly the single-bus model's. *)
+  type sim_lock = { mutable held : bool; mutable sharers : int }
 
   (* One op of a work program ([Work.step]'s interleaved compute/alloc
      slices, [Work.alloc]'s slice loop): the unit at which the reference
@@ -104,9 +110,34 @@ struct
   let ready = Ready_heap.create ~ids:config.procs ~dummy:procs.(0)
   let current = ref 0
   let cur () = procs.(!current)
-  let bus_free_at = ref 0
-  let bus_busy = ref 0
+
+  (* Machine topology.  [Flat_bus] is one node; [Numa] groups the procs
+     into [n_nodes] contiguous nodes, each with its own FCFS bus, joined by
+     a single shared FCFS link with its own latency and bandwidth.  All
+     per-node state is indexed by node id; with one node the arrays are
+     singletons and behave exactly like the former scalar refs. *)
+  let n_nodes = Sim_config.nodes config
+  let per_node = Sim_config.procs_per_node config
+  let node_of_proc id = if n_nodes = 1 then 0 else id / per_node
+
+  let link_latency, link_bytes_per_cycle =
+    match config.machine with
+    | Sim_config.Flat_bus -> (0, config.bus_bytes_per_cycle)
+    | Sim_config.Numa { link_latency_cycles; link_bytes_per_cycle; _ } ->
+        (link_latency_cycles, link_bytes_per_cycle)
+
+  let popcount x =
+    let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+    go 0 x
+
+  (* Per-node bus state, plus the shared inter-node link. *)
+  let bus_free_at = Array.make n_nodes 0
+  let bus_busy = Array.make n_nodes 0
+  let link_free_at = ref 0
+  let link_busy = ref 0
   let bus_total_bytes = ref 0
+  let remote_bytes = ref 0
+  let invalidations = ref 0
   let region_used = ref 0
   let gc_pending = ref false
   let gc_count = ref 0
@@ -210,13 +241,14 @@ struct
          ~clock:(if bytes = 0 then p.clock + cpu else p.clock + cpu + 1)
          ~id:p.id
     &&
+    let node = node_of_proc p.id in
     let dur =
       if bytes = 0 then 0
       else
         max 1 (int_of_float (float_of_int bytes /. config.bus_bytes_per_cycle))
     in
     let start =
-      if bytes = 0 then p.clock + cpu else max (p.clock + cpu) !bus_free_at
+      if bytes = 0 then p.clock + cpu else max (p.clock + cpu) bus_free_at.(node)
     in
     let clock' = start + dur in
     let total = clock' - p.clock in
@@ -226,8 +258,8 @@ struct
          p.clock <- clock';
          if idle then p.idle <- p.idle + total else p.busy <- p.busy + total;
          if bytes > 0 then begin
-           bus_free_at := clock';
-           bus_busy := !bus_busy + dur;
+           bus_free_at.(node) <- clock';
+           bus_busy.(node) <- bus_busy.(node) + dur;
            bus_total_bytes := !bus_total_bytes + bytes
          end;
          p.ran_ahead <- p.ran_ahead + total;
@@ -258,21 +290,119 @@ struct
             yield_ready p c)
     end
 
-  (* FCFS shared bus: runs inside a suspend body, advances [p] past the end
-     of its transfer.  Queueing stall counts as busy time (the proc is
+  (* FCFS node-local bus: runs inside a suspend body, advances [p] past the
+     end of its transfer.  Queueing stall counts as busy time (the proc is
      stalled on memory, not idle). *)
   let bus_transfer p bytes =
+    let node = node_of_proc p.id in
     let dur =
       max 1 (int_of_float (float_of_int bytes /. config.bus_bytes_per_cycle))
     in
-    let start = max p.clock !bus_free_at in
+    let start = max p.clock bus_free_at.(node) in
     let stall = start - p.clock in
     p.clock <- start + dur;
     p.busy <- p.busy + stall + dur;
-    bus_free_at := p.clock;
-    bus_busy := !bus_busy + dur;
+    bus_free_at.(node) <- p.clock;
+    bus_busy.(node) <- bus_busy.(node) + dur;
     bus_total_bytes := !bus_total_bytes + bytes;
     observe_clock p.clock
+
+  (* A transfer that must cross the inter-node link: a local-bus leg (the
+     request occupies the requesting node's bus as usual) followed by a link
+     leg that pays the link latency and serializes on the shared link's FCFS
+     queue.  [invals] remote cached copies are invalidated by the transfer.
+     Only reachable when [n_nodes > 1]. *)
+  let remote_transfer p bytes ~invals =
+    let node = node_of_proc p.id in
+    let ldur =
+      max 1 (int_of_float (float_of_int bytes /. config.bus_bytes_per_cycle))
+    in
+    let lstart = max p.clock bus_free_at.(node) in
+    let lend = lstart + ldur in
+    let kdur =
+      link_latency
+      + max 1 (int_of_float (float_of_int bytes /. link_bytes_per_cycle))
+    in
+    let kstart = max lend !link_free_at in
+    let kend = kstart + kdur in
+    p.busy <- p.busy + (kend - p.clock);
+    p.clock <- kend;
+    bus_free_at.(node) <- lend;
+    bus_busy.(node) <- bus_busy.(node) + ldur;
+    link_free_at := kend;
+    link_busy := !link_busy + kdur;
+    bus_total_bytes := !bus_total_bytes + bytes;
+    remote_bytes := !remote_bytes + bytes;
+    invalidations := !invalidations + invals;
+    observe_clock p.clock
+
+  (* Run-ahead twin of [remote_transfer] preceded by [cpu] cycles of work:
+     same gate structure as [inline_charge], same arithmetic as the slow
+     path ([charge] then [remote_transfer]) term for term. *)
+  let inline_charge_remote p ~cpu ~bytes ~invals =
+    run_ahead_enabled
+    && (not !gc_pending)
+    && Ready_heap.precedes_min ready ~clock:(p.clock + cpu + 1) ~id:p.id
+    &&
+    let node = node_of_proc p.id in
+    let ldur =
+      max 1 (int_of_float (float_of_int bytes /. config.bus_bytes_per_cycle))
+    in
+    let lstart = max (p.clock + cpu) bus_free_at.(node) in
+    let lend = lstart + ldur in
+    let kdur =
+      link_latency
+      + max 1 (int_of_float (float_of_int bytes /. link_bytes_per_cycle))
+    in
+    let clock' = max lend !link_free_at + kdur in
+    let total = clock' - p.clock in
+    p.ran_ahead + total <= config.run_ahead_window
+    && Ready_heap.precedes_min ready ~clock:clock' ~id:p.id
+    && begin
+         p.clock <- clock';
+         p.busy <- p.busy + total;
+         bus_free_at.(node) <- lend;
+         bus_busy.(node) <- bus_busy.(node) + ldur;
+         link_free_at := clock';
+         link_busy := !link_busy + kdur;
+         bus_total_bytes := !bus_total_bytes + bytes;
+         remote_bytes := !remote_bytes + bytes;
+         invalidations := !invalidations + invals;
+         p.ran_ahead <- p.ran_ahead + total;
+         incr coalesced_ct;
+         observe_clock clock';
+         true
+       end
+
+  (* One RMW bus transaction on a lock word from proc [p]: route it by the
+     line's sharer set (node-local when no other node caches the word,
+     across the link otherwise) and claim the line exclusive for [p]'s
+     node.  The sharer set is read and written at the charge, i.e. at the
+     same virtual position in the inline and always-suspend machines, so
+     the routing decision is deterministic and identical in both.  The
+     inline variant returns [false] without side effects when the run-ahead
+     gates fail; callers then apply [lock_rmw_slow] inside a suspend body. *)
+  let lock_rmw_inline p l ~cpu =
+    let me = 1 lsl node_of_proc p.id in
+    let others = l.sharers land lnot me in
+    let ok =
+      if others = 0 then
+        inline_charge p ~cpu ~bytes:config.lock_bus_bytes ~idle:false
+      else
+        inline_charge_remote p ~cpu ~bytes:config.lock_bus_bytes
+          ~invals:(popcount others)
+    in
+    if ok then l.sharers <- me;
+    ok
+
+  let lock_rmw_slow p l ~cpu =
+    let me = 1 lsl node_of_proc p.id in
+    let others = l.sharers land lnot me in
+    p.clock <- p.clock + cpu;
+    p.busy <- p.busy + cpu;
+    if others = 0 then bus_transfer p config.lock_bus_bytes
+    else remote_transfer p config.lock_bus_bytes ~invals:(popcount others);
+    l.sharers <- me
 
   (* Allocation is spread over the computation it belongs to: one suspend
      per small slice, so bus occupancy interleaves with other procs instead
@@ -520,14 +650,10 @@ struct
 
   (* Position: about to issue the next probe. *)
   and lock_send_probe p l attempt kont =
-    if
-      inline_charge p ~cpu:config.try_lock_cycles ~bytes:config.lock_bus_bytes
-        ~idle:false
-    then lock_probe_result p l attempt kont
+    if lock_rmw_inline p l ~cpu:config.try_lock_cycles then
+      lock_probe_result p l attempt kont
     else begin
-      p.clock <- p.clock + config.try_lock_cycles;
-      p.busy <- p.busy + config.try_lock_cycles;
-      bus_transfer p config.lock_bus_bytes;
+      lock_rmw_slow p l ~cpu:config.try_lock_cycles;
       set_ready p (A_lock_probe (l, attempt, kont))
     end
 
@@ -536,17 +662,12 @@ struct
     | K_lock k -> interp p (Engine.Resume (k, ()))
     | K_locked (run, k) ->
         run ();
-        if
-          inline_charge p ~cpu:config.unlock_cycles
-            ~bytes:config.lock_bus_bytes ~idle:false
-        then begin
+        if lock_rmw_inline p l ~cpu:config.unlock_cycles then begin
           l.held <- false;
           interp p (Engine.Resume (k, ()))
         end
         else begin
-          p.clock <- p.clock + config.unlock_cycles;
-          p.busy <- p.busy + config.unlock_cycles;
-          bus_transfer p config.lock_bus_bytes;
+          lock_rmw_slow p l ~cpu:config.unlock_cycles;
           set_ready p (A_unlock (l, k))
         end
 
@@ -568,8 +689,11 @@ struct
              | Gc_waiting _ -> "Gc_waiting")))
       procs;
     Buffer.add_string b
-      (Printf.sprintf "region=%d gc_pending=%b bus_free_at=%d\n" !region_used
-         !gc_pending !bus_free_at);
+      (Printf.sprintf "region=%d gc_pending=%b bus_free_at=[%s] link_free_at=%d\n"
+         !region_used !gc_pending
+         (String.concat ";"
+            (Array.to_list (Array.map string_of_int bus_free_at)))
+         !link_free_at);
     Buffer.contents b
 
   let rec loop () =
@@ -694,12 +818,15 @@ struct
       Array.fold_left
         (fun acc p -> if p.state = Free then acc else acc + 1)
         0 procs
+
+    let nodes () = n_nodes
+    let node_of = node_of_proc
   end
 
   module Lock = struct
     type mutex_lock = sim_lock
 
-    let mutex_lock () = { held = false }
+    let mutex_lock () = { held = false; sharers = 0 }
 
     (* Charge the probe first (a suspension point), then test-and-set with
        no intervening suspension — atomic in virtual time.  When the
@@ -708,15 +835,9 @@ struct
        inline charge preserves the same atomicity. *)
     let try_lock l =
       let p = cur () in
-      if
-        not
-          (inline_charge p ~cpu:config.try_lock_cycles
-             ~bytes:config.lock_bus_bytes ~idle:false)
-      then
+      if not (lock_rmw_inline p l ~cpu:config.try_lock_cycles) then
         Engine.suspend (fun c ->
-            p.clock <- p.clock + config.try_lock_cycles;
-            p.busy <- p.busy + config.try_lock_cycles;
-            bus_transfer p config.lock_bus_bytes;
+            lock_rmw_slow p l ~cpu:config.try_lock_cycles;
             yield_ready p c);
       if l.held then begin
         (cur ()).spins <- (cur ()).spins + 1;
@@ -744,10 +865,7 @@ struct
       let done_ = ref false in
       let parked = ref false in
       while not !done_ do
-        if
-          inline_charge p ~cpu:config.try_lock_cycles
-            ~bytes:config.lock_bus_bytes ~idle:false
-        then begin
+        if lock_rmw_inline p l ~cpu:config.try_lock_cycles then begin
           if l.held then begin
             p.spins <- p.spins + 1;
             incr attempt;
@@ -773,9 +891,7 @@ struct
           done_ := true;
           parked := true;
           Engine.suspend (fun c ->
-              p.clock <- p.clock + config.try_lock_cycles;
-              p.busy <- p.busy + config.try_lock_cycles;
-              bus_transfer p config.lock_bus_bytes;
+              lock_rmw_slow p l ~cpu:config.try_lock_cycles;
               set_ready p (A_lock_probe (l, !attempt, kont_of c));
               A_yield)
         end
@@ -813,15 +929,9 @@ struct
 
     let unlock l =
       let p = cur () in
-      if
-        not
-          (inline_charge p ~cpu:config.unlock_cycles
-             ~bytes:config.lock_bus_bytes ~idle:false)
-      then
+      if not (lock_rmw_inline p l ~cpu:config.unlock_cycles) then
         Engine.suspend (fun c ->
-            p.clock <- p.clock + config.unlock_cycles;
-            p.busy <- p.busy + config.unlock_cycles;
-            bus_transfer p config.lock_bus_bytes;
+            lock_rmw_slow p l ~cpu:config.unlock_cycles;
             yield_ready p c);
       l.held <- false
 
@@ -895,6 +1005,40 @@ struct
               yield_ready p c)
       end
 
+    (* Contended shared words outside the platform lock (the lock-algorithm
+       family's cells, run-queue heads): same sharer-set model as
+       [sim_lock], driven by the client through {!read_line}/{!write_line}.
+       [read_line] is charge-free by contract — the read's cost was already
+       charged — so it only grows the sharer set; the RMW in [write_line]
+       routes by it exactly as [lock_rmw_inline] does. *)
+    type line = { mutable sharers : int }
+
+    let line () = { sharers = 0 }
+
+    let read_line ln =
+      ln.sharers <- ln.sharers lor (1 lsl node_of_proc !current)
+
+    let write_line ln ~bytes =
+      if bytes > 0 then begin
+        let p = cur () in
+        let me = 1 lsl node_of_proc p.id in
+        let others = ln.sharers land lnot me in
+        ln.sharers <- me;
+        if others = 0 then begin
+          if not (inline_charge p ~cpu:0 ~bytes ~idle:false) then
+            Engine.suspend (fun c ->
+                bus_transfer p bytes;
+                yield_ready p c)
+        end
+        else begin
+          let invals = popcount others in
+          if not (inline_charge_remote p ~cpu:0 ~bytes ~invals) then
+            Engine.suspend (fun c ->
+                remote_transfer p bytes ~invals;
+                yield_ready p c)
+        end
+      end
+
     (* Interleave compute and allocation slices so the generated bus
        traffic is spread across the work, as real allocation is. *)
     let step ?alloc_words ~instrs () =
@@ -959,9 +1103,13 @@ struct
         p.ran_ahead <- 0)
       procs;
     Ready_heap.clear ready;
-    bus_free_at := 0;
-    bus_busy := 0;
+    Array.fill bus_free_at 0 n_nodes 0;
+    Array.fill bus_busy 0 n_nodes 0;
+    link_free_at := 0;
+    link_busy := 0;
     bus_total_bytes := 0;
+    remote_bytes := 0;
+    invalidations := 0;
     region_used := 0;
     gc_pending := false;
     gc_count := 0;
@@ -988,7 +1136,11 @@ struct
     set "gc.collections" !gc_count;
     set "gc.cycles" !gc_cycles_total;
     set "bus.bytes" !bus_total_bytes;
-    set "bus.busy_cycles" !bus_busy;
+    set "bus.local_bytes" (!bus_total_bytes - !remote_bytes);
+    set "bus.remote_bytes" !remote_bytes;
+    set "bus.busy_cycles" (Array.fold_left ( + ) 0 bus_busy);
+    set "link.busy_cycles" !link_busy;
+    set "cache.invalidations" !invalidations;
     set "lock.acquires" !lock_acquires_ct;
     set "lock.spins" (Array.fold_left (fun acc p -> acc + p.spins) 0 procs)
 
@@ -1030,7 +1182,7 @@ struct
       elapsed = secs !max_clock;
       gc_time = secs !gc_cycles_total;
       gc_count = !gc_count;
-      bus_busy = secs !bus_busy;
+      bus_busy = secs (Array.fold_left ( + ) 0 bus_busy);
       bus_bytes = !bus_total_bytes;
       sched_decisions = !sched_decisions_ct;
       suspensions = Engine.suspensions () - !susp_at_start;
@@ -1050,8 +1202,13 @@ struct
     let idle_polls () = !idle_polls_ct
     let gc_cycles () = !gc_cycles_total
     let gc_collections () = !gc_count
+    let nodes () = n_nodes
     let bus_bytes () = !bus_total_bytes
-    let bus_busy_cycles () = !bus_busy
+    let local_bytes () = !bus_total_bytes - !remote_bytes
+    let remote_bytes () = !remote_bytes
+    let invalidations () = !invalidations
+    let bus_busy_cycles () = Array.fold_left ( + ) 0 bus_busy
+    let link_busy_cycles () = !link_busy
     let elapsed_seconds () = Sim_config.cycles_to_seconds config !max_clock
 
     let gc_excluded_seconds () =

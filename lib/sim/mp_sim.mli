@@ -61,8 +61,29 @@ end)
 
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
+
+    val nodes : unit -> int
+    (** Interconnect nodes of the configured machine (1 under
+        [Flat_bus]). *)
+
     val bus_bytes : unit -> int
+    (** All bus traffic, node-local and remote. *)
+
+    val local_bytes : unit -> int
+    (** Traffic that stayed on a node-local bus. *)
+
+    val remote_bytes : unit -> int
+    (** Traffic that crossed the inter-node link (0 under [Flat_bus]). *)
+
+    val invalidations : unit -> int
+    (** Remote cached copies invalidated by lock/queue-word RMWs. *)
+
     val bus_busy_cycles : unit -> int
+    (** Busy cycles summed over the node buses. *)
+
+    val link_busy_cycles : unit -> int
+    (** Busy cycles of the shared inter-node link. *)
+
     val elapsed_seconds : unit -> float
 
     val gc_excluded_seconds : unit -> float
@@ -98,8 +119,13 @@ end)
     val idle_polls : unit -> int
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
+    val nodes : unit -> int
     val bus_bytes : unit -> int
+    val local_bytes : unit -> int
+    val remote_bytes : unit -> int
+    val invalidations : unit -> int
     val bus_busy_cycles : unit -> int
+    val link_busy_cycles : unit -> int
     val elapsed_seconds : unit -> float
     val gc_excluded_seconds : unit -> float
     val bus_mb_per_sec : unit -> float

@@ -1,3 +1,19 @@
+(* Interconnect topology.  [Flat_bus] is the legacy single-FCFS-bus model
+   (one bus shared by every proc); [Numa] groups the procs into [nodes]
+   equal nodes, each with its own local bus of [bus_bytes_per_cycle]
+   bandwidth, joined by one inter-node link.  A transfer that must leave
+   its node (a write to a line cached on another node) crosses the local
+   bus first and then the link, paying [link_latency_cycles] plus the
+   bytes at [link_bytes_per_cycle]; the link is FCFS and shared by all
+   nodes, which is what makes cross-node contention collapse at large P. *)
+type machine =
+  | Flat_bus
+  | Numa of {
+      nodes : int;
+      link_latency_cycles : int;
+      link_bytes_per_cycle : float;
+    }
+
 type t = {
   name : string;
   procs : int;
@@ -5,6 +21,7 @@ type t = {
   cpi : float;
   word_bytes : int;
   bus_bytes_per_cycle : float;
+  machine : machine;
   alloc_cycles_per_word : float;
   try_lock_cycles : int;
   unlock_cycles : int;
@@ -39,6 +56,7 @@ let sequent ?(procs = 16) ?(sched = "distributed") () =
     cpi = 4.5;
     word_bytes = 4;
     bus_bytes_per_cycle = 25.0e6 /. 16.0e6;
+    machine = Flat_bus;
     alloc_cycles_per_word = 2.0;
     try_lock_cycles = 500;
     unlock_cycles = 236;
@@ -73,6 +91,7 @@ let sgi ?(procs = 8) ?(sched = "distributed") () =
     cpi = 1.2;
     word_bytes = 4;
     bus_bytes_per_cycle = 30.0e6 /. 33.0e6;
+    machine = Flat_bus;
     alloc_cycles_per_word = 1.0;
     try_lock_cycles = 130;
     unlock_cycles = 68;
@@ -96,6 +115,75 @@ let sgi ?(procs = 8) ?(sched = "distributed") () =
     heap_debug = false;
     sched;
   }
+
+(* NUMA preset built from the Sequent's per-proc constants: each node is a
+   Sequent-class bus; the inter-node link has twice one node's bandwidth
+   but is shared by every node and adds a fixed crossing latency.  With
+   more than two nodes' worth of cross-node traffic the link saturates —
+   the knee the large-P sweeps are after. *)
+let numa ?(nodes = 4) ?(procs_per_node = 16) ?(sched = "distributed") () =
+  if nodes < 1 || procs_per_node < 1 then invalid_arg "Sim_config.numa";
+  (* sharer sets are int bitmasks in the simulator *)
+  if nodes > 62 then invalid_arg "Sim_config.numa: at most 62 nodes";
+  let base = sequent ~procs:(nodes * procs_per_node) ~sched () in
+  {
+    base with
+    name = Printf.sprintf "numa:%dx%d" nodes procs_per_node;
+    machine =
+      Numa
+        {
+          nodes;
+          link_latency_cycles = 120;
+          link_bytes_per_cycle = 2.0 *. base.bus_bytes_per_cycle;
+        };
+  }
+
+let machine_names = [ "sequent"; "sgi"; "numa:<nodes>x<procs>"; "numa1024" ]
+
+(* Machine selector syntax for [--machine] and sweep drivers.  ["numa1024"]
+   is the canonical 1024-proc preset (16 nodes of 64). *)
+let of_machine_string ?sched s =
+  let s = String.lowercase_ascii (String.trim s) in
+  match s with
+  | "sequent" | "flat" -> Ok (sequent ?sched ())
+  | "sgi" -> Ok (sgi ?sched ())
+  | "numa" -> Ok (numa ?sched ())
+  | "numa1024" -> Ok (numa ~nodes:16 ~procs_per_node:64 ?sched ())
+  | _ -> (
+      let bad () =
+        Error
+          (Printf.sprintf "unknown machine %S (expected %s)" s
+             (String.concat "|" machine_names))
+      in
+      match String.index_opt s ':' with
+      | Some i when String.sub s 0 i = "numa" -> (
+          let arg = String.sub s (i + 1) (String.length s - i - 1) in
+          match String.index_opt arg 'x' with
+          | Some j -> (
+              let n = String.sub arg 0 j in
+              let m = String.sub arg (j + 1) (String.length arg - j - 1) in
+              match (int_of_string_opt n, int_of_string_opt m) with
+              | Some nodes, Some per when nodes >= 1 && nodes <= 62 && per >= 1
+                ->
+                  Ok (numa ~nodes ~procs_per_node:per ?sched ())
+              | _ -> bad ())
+          | None -> bad ())
+      | _ -> bad ())
+
+let of_machine_string_exn ?sched s =
+  match of_machine_string ?sched s with
+  | Ok c -> c
+  | Error msg -> invalid_arg msg
+
+let nodes c = match c.machine with Flat_bus -> 1 | Numa n -> max 1 n.nodes
+
+(* Procs are grouped into nodes by contiguous index blocks, so a pool that
+   acquires procs 0..k-1 stays on as few nodes as possible. *)
+let procs_per_node c =
+  let n = nodes c in
+  (c.procs + n - 1) / n
+
+let node_of c id = if nodes c = 1 then 0 else id / procs_per_node c
 
 let with_parallel_gc c factor =
   if factor < 1.0 then invalid_arg "Sim_config.with_parallel_gc";

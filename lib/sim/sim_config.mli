@@ -12,13 +12,33 @@
        the paper found that "main-memory contention problems swamped all
        other effects".}} *)
 
+(** Interconnect topology.  {!Flat_bus} is the legacy model: one FCFS bus
+    shared by every proc (the Sequent/SGI shape; all goldens are pinned
+    under it).  {!Numa} groups the [procs] into [nodes] contiguous,
+    equal-sized nodes: each node has a private local bus of
+    [bus_bytes_per_cycle] bandwidth, and the nodes share one FCFS
+    inter-node link.  Node-local traffic (allocation, uncontended lock
+    words) only touches the local bus; a write to a word cached on another
+    node crosses the local bus and then the link, paying
+    [link_latency_cycles] plus the transfer at [link_bytes_per_cycle], and
+    invalidates the remote copies (counted under ["cache.invalidations"]). *)
+type machine =
+  | Flat_bus
+  | Numa of {
+      nodes : int;
+      link_latency_cycles : int;
+      link_bytes_per_cycle : float;
+    }
+
 type t = {
   name : string;
   procs : int;  (** physical processors *)
   mhz : float;  (** clock: cycles per microsecond *)
   cpi : float;  (** cycles per abstract workload instruction *)
   word_bytes : int;
-  bus_bytes_per_cycle : float;  (** usable shared-bus bandwidth *)
+  bus_bytes_per_cycle : float;
+      (** usable shared-bus bandwidth (per node under {!Numa}) *)
+  machine : machine;  (** interconnect topology; {!Flat_bus} in the presets *)
   alloc_cycles_per_word : float;  (** CPU cost of heap allocation *)
   try_lock_cycles : int;  (** one test-and-set attempt *)
   unlock_cycles : int;
@@ -90,6 +110,32 @@ type t = {
 
 val sequent : ?procs:int -> ?sched:string -> unit -> t
 val sgi : ?procs:int -> ?sched:string -> unit -> t
+
+val numa : ?nodes:int -> ?procs_per_node:int -> ?sched:string -> unit -> t
+(** A hierarchical machine of [nodes] Sequent-class nodes ([procs_per_node]
+    procs each, defaults 4x16): per-node buses with the Sequent's 25 MB/s
+    bandwidth, joined by a single shared link of twice that bandwidth plus
+    a 120-cycle crossing latency.  Name: ["numa:<nodes>x<procs>"]. *)
+
+val machine_names : string list
+(** Accepted spellings for {!of_machine_string} ([--machine]). *)
+
+val of_machine_string : ?sched:string -> string -> (t, string) result
+(** Parse a machine selector: ["sequent"], ["sgi"], ["numa:<nodes>x<procs>"]
+    (e.g. [numa:4x16]), or ["numa1024"], the canonical 1024-proc preset
+    (16 nodes of 64 procs). *)
+
+val of_machine_string_exn : ?sched:string -> string -> t
+
+val nodes : t -> int
+(** Number of nodes (1 under {!Flat_bus}). *)
+
+val procs_per_node : t -> int
+
+val node_of : t -> int -> int
+(** Node of a proc index: procs are grouped into contiguous blocks of
+    {!procs_per_node}, so a pool acquiring procs [0..k-1] spans as few
+    nodes as possible. *)
 
 val with_parallel_gc : t -> float -> t
 (** Same machine with the collection itself parallelized by the given

@@ -157,6 +157,11 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
       mutable live : int; (* procs acquired into the pool; set by prepare *)
       mutable attempts : int;
       mutable hits : int;
+      total : int Stdlib.Atomic.t;
+          (* net items across all slots: +1 per push, -1 per successful pop
+             or steal (a steal's batch re-push cancels against the batch
+             removal).  Gives an O(1) emptiness hint where scanning every
+             slot's queue was O(procs). *)
     }
 
     let seed_of p =
@@ -174,6 +179,7 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
         live = procs;
         attempts = 0;
         hits = 0;
+        total = Stdlib.Atomic.make 0;
       }
 
     let prepare t ~procs =
@@ -191,7 +197,8 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
 
     let push_local t ~proc x =
       (* the calling proc is this slot's single producer *)
-      SQ.push t.slots.(clamp_proc ~n:(Array.length t.slots) proc).q x
+      SQ.push t.slots.(clamp_proc ~n:(Array.length t.slots) proc).q x;
+      Stdlib.Atomic.incr t.total
 
     let push_new = push_local
 
@@ -210,11 +217,30 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
               t.hits <- t.hits + 1;
               s.last_victim <- victim;
               (* keep the oldest, re-own the rest: this proc is its own
-                 queue's single producer, so the SPMC invariant holds *)
+                 queue's single producer, so the SPMC invariant holds.
+                 Net item count: batch removed, batch - 1 re-pushed = -1. *)
               for i = 1 to Array.length batch - 1 do
                 SQ.push s.q batch.(i)
               done;
+              Stdlib.Atomic.decr t.total;
               Some batch.(0)
+        in
+        (* A full pass over the victims in rotating order from [start],
+           probing only those [pred] admits; each slot is visited exactly
+           once, so an unfiltered pass probes the same victims in the same
+           order as the historical sweep. *)
+        let sweep_from start pred =
+          let rec go k i =
+            if k = 0 then None
+            else
+              let victim = i mod live in
+              if victim <> proc && pred victim then
+                match probe victim with
+                | Some _ as hit -> hit
+                | None -> go (k - 1) (i + 1)
+              else go (k - 1) (i + 1)
+          in
+          go live start
         in
         (* the victim that last yielded work is likely still loaded (one
            proc fans out a phase's tasks): probe it first, then sweep the
@@ -226,31 +252,33 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
         in
         match again with
         | Some _ as hit -> hit
-        | None ->
+        | None -> (
             let start = proc + 1 + (next_rand s mod (live - 1)) in
-            let rec sweep k i =
-              if k = 0 then None
-              else
-                let victim = i mod live in
-                if victim = proc then sweep k (i + 1)
-                else
-                  match probe victim with
-                  | Some _ as hit -> hit
-                  | None -> sweep (k - 1) (i + 1)
-            in
-            sweep (live - 1) start
+            if P.Proc.nodes () <= 1 then sweep_from start (fun _ -> true)
+            else
+              (* node-aware victim order: exhaust same-node victims first —
+                 those steals stay off the inter-node link — and only then
+                 reach across nodes.  One rand draw either way, so the flat
+                 machine's probe sequence (and the simulator goldens over
+                 it) is untouched. *)
+              let my_node = P.Proc.node_of proc in
+              match
+                sweep_from start (fun v -> P.Proc.node_of v = my_node)
+              with
+              | Some _ as hit -> hit
+              | None ->
+                  sweep_from start (fun v -> P.Proc.node_of v <> my_node))
       end
 
     let take t ~proc =
       let proc = clamp_proc ~n:(Array.length t.slots) proc in
       match SQ.pop t.slots.(proc).q with
-      | Some _ as v -> v
+      | Some _ as v ->
+          Stdlib.Atomic.decr t.total;
+          v
       | None -> steal t ~proc
 
-    let looks_nonempty t ~proc:_ =
-      let any = ref false in
-      Array.iter (fun s -> if SQ.looks_nonempty s.q then any := true) t.slots;
-      !any
+    let looks_nonempty t ~proc:_ = Stdlib.Atomic.get t.total > 0
 
     let total_length t =
       Array.fold_left (fun acc s -> acc + SQ.length_hint s.q) 0 t.slots
@@ -279,10 +307,23 @@ module Make (P : Mp.Mp_intf.PLATFORM_INT) = struct
     (* Clamping to the acquired-proc count keeps every pool owned by at
        least one proc (pool p is served by procs ≡ p mod pools), so no
        pool can strand work.  Runs before the pool body forks anything,
-       so no item can already sit in a slot ≥ the new pool count. *)
-    let prepare t ~procs = t.pools <- max 1 (min (MQ.procs t.mq) procs)
+       so no item can already sit in a slot ≥ the new pool count.  On a
+       hierarchical machine pools are node-aligned instead (all procs of a
+       node share a pool, keeping each pool's deque node-local), so the
+       count is additionally clamped to the number of nodes the acquired
+       procs actually span — the spray rotor must never land work in a
+       pool no proc consumes. *)
+    let prepare t ~procs =
+      let cap =
+        if P.Proc.nodes () > 1 then min procs (P.Proc.node_of (procs - 1) + 1)
+        else procs
+      in
+      t.pools <- max 1 (min (MQ.procs t.mq) cap)
 
-    let pool t proc = (if proc < 0 then 0 else proc) mod t.pools
+    let pool t proc =
+      let proc = if proc < 0 then 0 else proc in
+      if P.Proc.nodes () > 1 then P.Proc.node_of proc mod t.pools
+      else proc mod t.pools
     let push_local t ~proc x = MQ.push t.mq ~proc:(pool t proc) x
 
     let push_new t ~proc:_ x =

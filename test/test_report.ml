@@ -145,6 +145,59 @@ let test_model_parallelism_cap () =
     "capped at 4" 4.
     (Model.Speedup_model.speedup p ~procs:16)
 
+let test_model_topology () =
+  let p =
+    Model.Speedup_model.
+      { work = 16.; serial = 0.; gc = 0.; bus_seconds = 4.; max_par = infinity }
+  in
+  (* The flat topology is the identity refinement. *)
+  List.iter
+    (fun procs ->
+      Alcotest.(check (float 1e-9))
+        "flat topology = no topology"
+        (Model.Speedup_model.time p ~procs)
+        (Model.Speedup_model.time ~topology:Model.Speedup_model.flat p ~procs))
+    [ 1; 4; 16 ];
+  let topo =
+    Model.Speedup_model.{ nodes = 4; procs_per_node = 4; link_seconds = 0.1 }
+  in
+  check "one node active" 1 (Model.Speedup_model.nodes_active topo ~procs:4);
+  check "all nodes active" 4 (Model.Speedup_model.nodes_active topo ~procs:16);
+  (* With a cheap link, spreading over 4 node buses relieves the bus
+     bound: flat is stuck at bus_seconds, the NUMA machine is not. *)
+  Alcotest.(check (float 1e-9))
+    "flat bus-bound" 4.
+    (Model.Speedup_model.time p ~procs:16);
+  Alcotest.(check (float 1e-9))
+    "numa relieves the bus" 1.
+    (Model.Speedup_model.time ~topology:topo p ~procs:16)
+
+let test_model_numa_knee () =
+  let p =
+    Model.Speedup_model.
+      { work = 16.; serial = 0.; gc = 0.; bus_seconds = 4.; max_par = infinity }
+  in
+  (* A link slower than one node bus: the curve tracks flat while the
+     pool fits one node, then hits the link floor and collapses. *)
+  let topo =
+    Model.Speedup_model.{ nodes = 4; procs_per_node = 4; link_seconds = 6. }
+  in
+  Alcotest.(check (float 1e-9))
+    "within one node = flat"
+    (Model.Speedup_model.time p ~procs:4)
+    (Model.Speedup_model.time ~topology:topo p ~procs:4);
+  checkb "knee: more procs, less speedup" true
+    (Model.Speedup_model.speedup ~topology:topo p ~procs:16
+    < Model.Speedup_model.speedup ~topology:topo p ~procs:4);
+  Alcotest.(check (float 1e-9))
+    "collapsed onto the link floor" 6.
+    (Model.Speedup_model.time ~topology:topo p ~procs:16);
+  (* Same machine with a free link scales monotonically. *)
+  let cheap = { topo with Model.Speedup_model.link_seconds = 0. } in
+  checkb "no knee without link cost" true
+    (Model.Speedup_model.speedup ~topology:cheap p ~procs:16
+    > Model.Speedup_model.speedup ~topology:cheap p ~procs:4)
+
 let test_model_fit () =
   let p =
     Model.Speedup_model.fit ~elapsed1:10. ~gc1:2. ~bus_busy1:1. ~serial:1. ()
@@ -243,6 +296,8 @@ let () =
           Alcotest.test_case "bus floor" `Quick test_model_bus_floor;
           Alcotest.test_case "parallelism cap" `Quick test_model_parallelism_cap;
           Alcotest.test_case "fit" `Quick test_model_fit;
+          Alcotest.test_case "topology" `Quick test_model_topology;
+          Alcotest.test_case "numa knee" `Quick test_model_numa_knee;
         ] );
       ( "experiments",
         [

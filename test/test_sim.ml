@@ -585,6 +585,127 @@ let test_sched_all_policies_correct () =
         expected)
     Mpthreads.Sched_policy.[ Fifo; Lifo; Ws; Micropools 4 ]
 
+(* ---------------- hierarchical (NUMA) machines ---------------- *)
+
+(* A one-node Numa machine is arithmetically the flat bus: every sharer
+   set stays local, so the golden table must hold bit-for-bit and no
+   remote traffic or invalidations may appear. *)
+module Numa1 =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.numa ~nodes:1 ~procs_per_node:16 ()
+    end)
+    ()
+
+module Numa1B = Workloads.Bench_suite.Make (Numa1)
+
+let test_numa_one_node_is_flat () =
+  let w = Numa1B.run_named "mm" ~procs:16 in
+  check "witness" (-2429353301021976480) w;
+  check "golden makespan" 4229267 (Numa1.Machine.makespan_cycles ());
+  check "golden bus bytes" 4089544 (Numa1.Machine.bus_bytes ());
+  check "no remote traffic" 0 (Numa1.Machine.remote_bytes ());
+  check "no invalidations" 0 (Numa1.Machine.invalidations ())
+
+(* A two-node machine and its always-suspend twin: the run-ahead fast
+   path must agree with the slow path on the NUMA charge model too —
+   including where each byte went and every invalidation. *)
+module N2x8 =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.numa ~nodes:2 ~procs_per_node:8 ()
+    end)
+    ()
+
+module N2x8B = Workloads.Bench_suite.Make (N2x8)
+
+module N2x8NoRa =
+  Sim.Mp_sim.Int (struct
+      let config =
+        {
+          (Sim.Sim_config.numa ~nodes:2 ~procs_per_node:8 ()) with
+          run_ahead = false;
+        }
+    end)
+    ()
+
+module N2x8NoRaB = Workloads.Bench_suite.Make (N2x8NoRa)
+
+let test_numa_run_ahead_equivalence () =
+  List.iter
+    (fun (bench, procs) ->
+      let wf = N2x8B.run_named bench ~procs in
+      let mf = N2x8.Machine.makespan_cycles () in
+      let bf = N2x8.Machine.bus_bytes () in
+      let rf = N2x8.Machine.remote_bytes () in
+      let inf = N2x8.Machine.invalidations () in
+      let ws = N2x8NoRaB.run_named bench ~procs in
+      let tag s = Printf.sprintf "%s@%d %s" bench procs s in
+      check (tag "witness") ws wf;
+      check (tag "makespan") (N2x8NoRa.Machine.makespan_cycles ()) mf;
+      check (tag "bus bytes") (N2x8NoRa.Machine.bus_bytes ()) bf;
+      check (tag "remote bytes") (N2x8NoRa.Machine.remote_bytes ()) rf;
+      check (tag "invalidations") (N2x8NoRa.Machine.invalidations ()) inf)
+    [ ("mm", 16); ("mst", 16); ("seq", 16) ]
+
+(* Contiguous node grouping: a pool that fits node 0 never crosses the
+   link; spanning both nodes moves contended lock and queue words across
+   it, each crossing invalidating the other node's copies. *)
+let test_numa_locality () =
+  ignore (N2x8B.run_named "mm" ~procs:8);
+  check "one-node pool: no remote traffic" 0 (N2x8.Machine.remote_bytes ());
+  check "one-node pool: no invalidations" 0 (N2x8.Machine.invalidations ());
+  ignore (N2x8B.run_named "mm" ~procs:16);
+  checkb "two-node pool moves remote bytes" true
+    (N2x8.Machine.remote_bytes () > 0);
+  checkb "two-node pool invalidates" true (N2x8.Machine.invalidations () > 0)
+
+(* The canonical large machine of the committed sweeps. *)
+module N1024 =
+  Sim.Mp_sim.Int (struct
+      let config = Sim.Sim_config.of_machine_string_exn "numa1024"
+    end)
+    ()
+
+module N1024B = Workloads.Bench_suite.Make (N1024)
+
+(* Large-P regression guard for the run-ahead machinery: episode
+   coalescing must stay effective when the ready heap holds hundreds of
+   procs.  Budgets are ~3-4x the measured values (mm 3.1k/3.7k, fib
+   110k/101k suspensions) so model tweaks fit but an accidental return
+   to suspend-per-charge (~1 suspension per decision) fails loudly. *)
+let test_numa_large_p_suspension_budget () =
+  List.iter
+    (fun (bench, procs, budget) ->
+      ignore (N1024B.run_named bench ~procs);
+      let susp = N1024.Machine.suspensions () in
+      checkb
+        (Printf.sprintf "%s@%d suspensions %d under %d" bench procs susp
+           budget)
+        true (susp < budget);
+      checkb
+        (Printf.sprintf "%s@%d coalescing active" bench procs)
+        true
+        (N1024.Machine.coalesced_charges () > 0))
+    [
+      ("mm", 64, 20_000);
+      ("mm", 256, 30_000);
+      ("fib", 64, 400_000);
+      ("fib", 256, 400_000);
+    ]
+
+(* Host-seconds guard on the quick sweep's heaviest cell: a 1024-proc
+   run must stay affordable (measured ~4-10s solo; the budget leaves
+   room for slow CI hosts without letting it grow unbounded). *)
+let test_numa_1024_host_budget () =
+  let t0 = Sys.time () in
+  ignore
+    (N1024B.run_named
+       ~sched:(Mpthreads.Sched_policy.of_string_exn "ws")
+       "mm" ~procs:1024);
+  let host = Sys.time () -. t0 in
+  checkb
+    (Printf.sprintf "ws mm@1024 host seconds %.1f under 60" host)
+    true (host < 60.)
+
 (* ---------------- sim-core host cost budget ---------------- *)
 
 (* Smoke check that the run-ahead fast path stays effective: on a fixed
@@ -740,6 +861,19 @@ let () =
           Alcotest.test_case "horizon assertion mode matches goldens" `Quick
             test_horizon_debug_matches_golden;
           Alcotest.test_case "suspension budget" `Quick test_suspension_budget;
+        ] );
+      ( "numa",
+        [
+          Alcotest.test_case "one node = flat golden" `Quick
+            test_numa_one_node_is_flat;
+          Alcotest.test_case "run-ahead equivalent on two nodes" `Quick
+            test_numa_run_ahead_equivalence;
+          Alcotest.test_case "node locality of traffic" `Quick
+            test_numa_locality;
+          Alcotest.test_case "large-P suspension budget" `Slow
+            test_numa_large_p_suspension_budget;
+          Alcotest.test_case "1024-proc host budget" `Slow
+            test_numa_1024_host_budget;
         ] );
       ( "sched-policies",
         [
