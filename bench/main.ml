@@ -216,7 +216,9 @@ module BSeq = Workloads.Bench_suite.Make (Seq16)
 module Pgc16 =
   Sim.Mp_sim.Int (struct
       let config =
-        Sim.Sim_config.with_parallel_gc (Sim.Sim_config.sequent ~procs:16 ()) 8.
+        Sim.Sim_config.with_gc
+          (Sim.Sim_config.sequent ~procs:16 ())
+          (Sim.Gc_model.Par_stw 8)
     end)
     ()
 
@@ -469,6 +471,7 @@ let print_sensitivity () =
 type sim_core_row = {
   sc_machine : string;
   sc_sched : string;
+  sc_gc : string;
   sc_bench : string;
   sc_procs : int;
   sc_host : float;
@@ -479,6 +482,9 @@ type sim_core_row = {
   sc_makespan : int;
   sc_remote_bytes : int;
   sc_invalidations : int;
+  sc_gc_minor : int;
+  sc_gc_major : int;
+  sc_gc_pause : int;
 }
 
 (* One sim-core cell on a private machine instance, so cells can fan
@@ -486,10 +492,12 @@ type sim_core_row = {
    (the JSON keeps the dump of the grid's last cell, which is what the
    shared-instance driver effectively reported too, since machine
    counters are overwritten per run). *)
-let sim_core_cell (machine, sched, bench, procs) =
+let sim_core_cell (machine, sched, gc, bench, procs) =
   let module S =
     Sim.Mp_sim.Int (struct
-        let config = Sim.Sim_config.of_machine_string_exn ~sched machine
+        let config =
+          Sim.Sim_config.of_machine_string_exn ~sched
+            ~gc:(Sim.Gc_model.of_string_exn gc) machine
       end)
       ()
   in
@@ -501,6 +509,7 @@ let sim_core_cell (machine, sched, bench, procs) =
   ( {
       sc_machine = machine;
       sc_sched = sched;
+      sc_gc = gc;
       sc_bench = bench;
       sc_procs = procs;
       sc_host = Sys.time () -. t0;
@@ -511,6 +520,9 @@ let sim_core_cell (machine, sched, bench, procs) =
       sc_makespan = S.Machine.makespan_cycles ();
       sc_remote_bytes = S.Machine.remote_bytes ();
       sc_invalidations = S.Machine.invalidations ();
+      sc_gc_minor = S.Machine.gc_minor_collections ();
+      sc_gc_major = S.Machine.gc_major_collections ();
+      sc_gc_pause = S.Machine.gc_cycles ();
     },
     Obs.Counters.dump S.Telemetry.counters )
 
@@ -536,13 +548,40 @@ let sim_numa_cells ~quick =
       List.concat_map
         (fun bench ->
           List.map
-            (fun procs -> (sim_numa_machine, sched, bench, procs))
+            (fun procs -> (sim_numa_machine, sched, "stw", bench, procs))
             numa_procs)
         (if quick then [ "mm" ] else [ "mm"; "fib" ]))
     [ "distributed"; "ws" ]
   @
   if quick then []
-  else List.map (fun p -> (sim_numa_machine, "fifo", "fib", p)) [ 1; 64; 256 ]
+  else
+    List.map (fun p -> (sim_numa_machine, "fifo", "stw", "fib", p)) [ 1; 64; 256 ]
+
+(* The GC-model axis (§6 headroom counterfactuals): the allocation-heavy
+   workloads under the N-collector parallel STW and the per-proc
+   minor-heap collector, against the default-model cells' [stw] baseline.
+   The acceptance exhibit lives here: minor_pp's 16-proc speedup strictly
+   above stw's on mm (its collections stop only the allocating proc). *)
+let sim_gc_cells ~quick =
+  List.concat_map
+    (fun gc ->
+      List.concat_map
+        (fun bench ->
+          List.map
+            (fun procs -> ("sequent", "distributed", gc, bench, procs))
+            [ 1; 4; 16 ])
+        [ "mm"; "simple" ])
+    [ "par_stw"; "minor_pp" ]
+  @
+  if quick then []
+  else
+    (* the 64-256-proc NUMA counterfactual of the headline exhibit *)
+    List.concat_map
+      (fun gc ->
+        List.map
+          (fun procs -> (sim_numa_machine, "distributed", gc, "mm", procs))
+          [ 1; 64; 256 ])
+      [ "minor_pp" ]
 
 let sim_core_rows ~jobs ~quick () =
   let cells =
@@ -550,10 +589,12 @@ let sim_core_rows ~jobs ~quick () =
       (fun sched ->
         List.concat_map
           (fun bench ->
-            List.map (fun procs -> ("sequent", sched, bench, procs)) [ 1; 4; 16 ])
+            List.map
+              (fun procs -> ("sequent", sched, "stw", bench, procs))
+              [ 1; 4; 16 ])
           BSeq.names)
       sim_core_scheds
-    @ sim_numa_cells ~quick
+    @ sim_numa_cells ~quick @ sim_gc_cells ~quick
   in
   Exec.Job_pool.map ~jobs sim_core_cell cells
 
@@ -564,7 +605,7 @@ let print_sim_core rows =
   Report.Render.table fmt
     ~header:
       [
-        "machine"; "sched"; "bench"; "procs"; "host s"; "decisions";
+        "machine"; "sched"; "gc"; "bench"; "procs"; "host s"; "decisions";
         "suspensions"; "coalesced"; "remote B";
       ]
     ~rows:
@@ -573,6 +614,7 @@ let print_sim_core rows =
            [
              r.sc_machine;
              r.sc_sched;
+             r.sc_gc;
              r.sc_bench;
              string_of_int r.sc_procs;
              Printf.sprintf "%.4f" r.sc_host;
@@ -597,15 +639,15 @@ let write_sim_json rows counters path =
     Seq16.Machine.config.Sim.Sim_config.name;
   Printf.fprintf oc "  \"workloads\": [\n";
   let n = List.length rows in
-  (* Speedup of each cell vs the same (machine, workload, scheduler)
-     procs=1 makespan, so the per-policy scaling curves are self-relative
-     within each machine model. *)
-  let makespan1 machine sched bench =
+  (* Speedup of each cell vs the same (machine, scheduler, gc model,
+     workload) procs=1 makespan, so the per-policy and per-collector
+     scaling curves are self-relative within each machine model. *)
+  let makespan1 machine sched gc bench =
     match
       List.find_opt
         (fun r ->
-          r.sc_machine = machine && r.sc_sched = sched && r.sc_bench = bench
-          && r.sc_procs = 1)
+          r.sc_machine = machine && r.sc_sched = sched && r.sc_gc = gc
+          && r.sc_bench = bench && r.sc_procs = 1)
         rows
     with
     | Some r -> Some r.sc_makespan
@@ -614,20 +656,23 @@ let write_sim_json rows counters path =
   List.iteri
     (fun i r ->
       let speedup =
-        match makespan1 r.sc_machine r.sc_sched r.sc_bench with
+        match makespan1 r.sc_machine r.sc_sched r.sc_gc r.sc_bench with
         | Some m1 when r.sc_makespan > 0 ->
             float_of_int m1 /. float_of_int r.sc_makespan
         | _ -> nan
       in
       Printf.fprintf oc
-        "    {\"name\": %S, \"machine\": %S, \"scheduler\": %S, \"procs\": \
-         %d, \"host_seconds\": %.6f, \"sched_decisions\": %d, \
-         \"suspensions\": %d, \"coalesced_charges\": %d, \"heap_ops\": %d, \
-         \"makespan_cycles\": %d, \"bus.remote_bytes\": %d, \
-         \"cache.invalidations\": %d, \"speedup\": %.4f}%s\n"
-        r.sc_bench r.sc_machine r.sc_sched r.sc_procs r.sc_host r.sc_decisions
-        r.sc_susp r.sc_coalesced r.sc_heap_ops r.sc_makespan r.sc_remote_bytes
-        r.sc_invalidations speedup
+        "    {\"name\": %S, \"machine\": %S, \"scheduler\": %S, \
+         \"gc_model\": %S, \"procs\": %d, \"host_seconds\": %.6f, \
+         \"sched_decisions\": %d, \"suspensions\": %d, \
+         \"coalesced_charges\": %d, \"heap_ops\": %d, \"makespan_cycles\": \
+         %d, \"bus.remote_bytes\": %d, \"cache.invalidations\": %d, \
+         \"gc.minor_count\": %d, \"gc.major_count\": %d, \
+         \"gc.pause_cycles\": %d, \"speedup\": %.4f}%s\n"
+        r.sc_bench r.sc_machine r.sc_sched r.sc_gc r.sc_procs r.sc_host
+        r.sc_decisions r.sc_susp r.sc_coalesced r.sc_heap_ops r.sc_makespan
+        r.sc_remote_bytes r.sc_invalidations r.sc_gc_minor r.sc_gc_major
+        r.sc_gc_pause speedup
         (if i = n - 1 then "" else ","))
     rows;
   Printf.fprintf oc "  ],\n";

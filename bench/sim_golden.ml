@@ -12,20 +12,25 @@
    runs on a private machine instance and lines print in grid order, so the
    GOLDEN values are identical for every N.  MP_REPRO_SCHED selects the
    scheduling policy (default distributed — the policy the test table
-   pins); under any policy the output must stay identical across --jobs
-   values, which is what CI's ws-policy jobs-diff checks.
+   pins) and MP_REPRO_GC the GC cost model (default stw — likewise the
+   pinned one); under any (policy, collector) pair the output must stay
+   identical across --jobs values, which is what CI's ws-policy and
+   minor_pp jobs-diff legs check.
    Paste the GOLDEN lines into the table in test/test_sim.ml when adding a
    workload; never update them to absorb a virtual-time change without
    understanding why the change is correct. *)
 
 let sched = Mpthreads.Sched_policy.resolve ()
+let gc = Sim.Gc_model.resolve ()
 
 let golden_cell (name, procs) =
   let module Seq16 =
     Sim.Mp_sim.Int (struct
         let config =
-          Sim.Sim_config.sequent ~procs:16
-            ~sched:(Mpthreads.Sched_policy.to_string sched) ()
+          Sim.Sim_config.with_gc
+            (Sim.Sim_config.sequent ~procs:16
+               ~sched:(Mpthreads.Sched_policy.to_string sched) ())
+            gc
       end)
       ()
   in
@@ -35,10 +40,11 @@ let golden_cell (name, procs) =
   let witness = B.run_named ~sched name ~procs in
   let host = Sys.time () -. t0 in
   Printf.sprintf
-    "GOLDEN %-8s sched=%-12s procs=%-2d makespan=%-12d gc=%-3d bus=%-12d \
-     witness=%d susp=%d decisions=%d host=%.3fs"
+    "GOLDEN %-8s sched=%-12s gcm=%-9s procs=%-2d makespan=%-12d gc=%-3d \
+     bus=%-12d witness=%d susp=%d decisions=%d host=%.3fs"
     name
     (Mpthreads.Sched_policy.to_string sched)
+    (Sim.Gc_model.to_string gc)
     procs
     (Seq16.Machine.makespan_cycles ())
     (Seq16.Machine.gc_collections ())

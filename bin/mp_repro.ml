@@ -2,13 +2,15 @@
 
    mp_repro fig6 [--procs 1,4,16]    Figure 6 speedup sweep
    mp_repro idle | bus | gc | sgi    the other evaluation sections
+   mp_repro gc_sweep                 fig6 once per GC cost model (E8)
    mp_repro locks                    lock latency microtable (E3)
    mp_repro portability              source-line inventory (E2)
    mp_repro all [--quick]            everything
 
    Every sweep subcommand takes --sched POLICY (or the MP_REPRO_SCHED
    environment variable) to run the thread pools under a different
-   scheduling policy. *)
+   scheduling policy, and --gc MODEL (or MP_REPRO_GC) to price heap
+   allocation under a different GC cost model. *)
 
 open Cmdliner
 
@@ -43,6 +45,20 @@ let sched_arg =
 let resolve_sched explicit =
   Mpthreads.Sched_policy.(to_string (resolve ?explicit ()))
 
+let gc_arg =
+  let doc =
+    "GC cost model for the sweep's machines: one of \
+     $(b,stw)|$(b,par_stw[:N])|$(b,minor_pp).  $(b,stw) is the paper's \
+     sequential stop-the-world collector; $(b,par_stw) splits the copy \
+     across up to N collectors; $(b,minor_pp) gives each proc a private \
+     minor heap.  Defaults to $(b,MP_REPRO_GC) or $(b,stw)."
+  in
+  Arg.(value & opt (some string) None & info [ "gc" ] ~docv:"MODEL" ~doc)
+
+(* --gc beats MP_REPRO_GC beats the stw default; same canonicalization
+   scheme as resolve_sched. *)
+let resolve_gc explicit = Sim.Gc_model.(to_string (resolve ?explicit ()))
+
 let machine_arg =
   let doc =
     "Machine model for the sweep: \
@@ -76,64 +92,89 @@ let plist_of quick procs =
    traceable) driver; any other machine goes through the parameterized
    machine sweep.  --quick on a >16-proc machine trims the tail of the
    powers-of-four list rather than using the flat 1,4,16 grid. *)
-let sweep ?machine quick procs jobs sched =
+let sweep ?machine quick procs jobs sched gc =
   let sched = resolve_sched sched in
+  let gc = resolve_gc gc in
   match machine with
   | None | Some "sequent" ->
       Report.Experiments.sequent_sweep ?plist:(plist_of quick procs) ?jobs
-        ~sched ()
+        ~sched ~gc ()
   | Some machine ->
       let plist =
         match procs with
         | Some l -> Some l
         | None -> if quick then Some [ 1; 4; 16; 64 ] else None
       in
-      Report.Experiments.machine_sweep ?plist ?jobs ~sched ~machine ()
+      Report.Experiments.machine_sweep ?plist ?jobs ~sched ~gc ~machine ()
 
 let fig6_cmd =
-  let run quick procs jobs sched machine trace =
+  let run quick procs jobs sched gc machine trace =
     maybe_trace trace (fun () ->
-        Report.Experiments.print_fig6 fmt (sweep ?machine quick procs jobs sched))
+        Report.Experiments.print_fig6 fmt
+          (sweep ?machine quick procs jobs sched gc))
   in
   Cmd.v (Cmd.info "fig6" ~doc:"Self-relative speedup curves (Figure 6)")
     Term.(
-      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg
-      $ trace_arg)
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg
+      $ machine_arg $ trace_arg)
 
 let idle_cmd =
-  let run quick procs jobs sched machine =
-    Report.Experiments.print_idle fmt (sweep ?machine quick procs jobs sched)
+  let run quick procs jobs sched gc machine =
+    Report.Experiments.print_idle fmt (sweep ?machine quick procs jobs sched gc)
   in
   Cmd.v (Cmd.info "idle" ~doc:"Processor idle fractions (E4)")
     Term.(
-      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg)
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg
+      $ machine_arg)
 
 let bus_cmd =
-  let run quick procs jobs sched machine =
-    Report.Experiments.print_bus fmt (sweep ?machine quick procs jobs sched)
+  let run quick procs jobs sched gc machine =
+    Report.Experiments.print_bus fmt (sweep ?machine quick procs jobs sched gc)
   in
   Cmd.v (Cmd.info "bus" ~doc:"Memory-bus traffic and contention (E5)")
     Term.(
-      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg)
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg
+      $ machine_arg)
 
 let gc_cmd =
-  let run quick procs jobs sched machine =
+  let run quick procs jobs sched gc machine =
     Report.Experiments.print_gc_ablation fmt
-      (sweep ?machine quick procs jobs sched)
+      (sweep ?machine quick procs jobs sched gc)
   in
   Cmd.v (Cmd.info "gc" ~doc:"GC ablation (E6)")
+    Term.(
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg
+      $ machine_arg)
+
+let gc_sweep_cmd =
+  let run quick procs jobs sched machine =
+    let plist =
+      match procs with
+      | Some l -> Some l
+      | None -> if quick then Some [ 1; 4; 16 ] else None
+    in
+    Report.Experiments.print_gc_models fmt
+      (Report.Experiments.gc_sweep ?plist ?jobs ~sched:(resolve_sched sched)
+         ?machine ())
+  in
+  Cmd.v
+    (Cmd.info "gc_sweep"
+       ~doc:
+         "Replay fig6 once per GC cost model (stw, par_stw, minor_pp) and \
+          lay the speedup curves side by side: the paper-\xc2\xa76.2 \
+          collector-headroom analysis (E8)")
     Term.(
       const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg)
 
 let sgi_cmd =
-  let run quick procs jobs sched =
+  let run quick procs jobs sched gc =
     let plist = plist_of quick procs in
     Report.Experiments.print_sgi fmt
       (Report.Experiments.sgi_sweep ?plist ?jobs ~sched:(resolve_sched sched)
-         ())
+         ~gc:(resolve_gc gc) ())
   in
   Cmd.v (Cmd.info "sgi" ~doc:"The SGI machine model sweep (E7)")
-    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg)
+    Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg)
 
 let locks_cmd =
   let run () = Report.Experiments.print_lock_latency fmt in
@@ -147,11 +188,11 @@ let portability_cmd =
     Term.(const run $ const ())
 
 let all_cmd =
-  let run quick procs jobs sched machine trace =
+  let run quick procs jobs sched gc machine trace =
     Report.Experiments.print_lock_latency fmt;
     Report.Experiments.print_portability fmt;
     maybe_trace trace (fun () ->
-        let s = sweep ?machine quick procs jobs sched in
+        let s = sweep ?machine quick procs jobs sched gc in
         Report.Experiments.print_fig6 fmt s;
         Report.Experiments.print_idle fmt s;
         Report.Experiments.print_bus fmt s;
@@ -159,12 +200,12 @@ let all_cmd =
     Report.Experiments.print_sgi fmt
       (Report.Experiments.sgi_sweep
          ?plist:(if quick then Some [ 1; 4; 8 ] else None)
-         ?jobs ~sched:(resolve_sched sched) ())
+         ?jobs ~sched:(resolve_sched sched) ~gc:(resolve_gc gc) ())
   in
   Cmd.v (Cmd.info "all" ~doc:"Every evaluation section")
     Term.(
-      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ machine_arg
-      $ trace_arg)
+      const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg
+      $ machine_arg $ trace_arg)
 
 let () =
   let info =
@@ -182,6 +223,7 @@ let () =
             idle_cmd;
             bus_cmd;
             gc_cmd;
+            gc_sweep_cmd;
             sgi_cmd;
             locks_cmd;
             portability_cmd;

@@ -501,6 +501,109 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
         join ();
         check (C.Proc.get_datum () = 17) "proc: datum clobbered by spawns")
 
+  (* ---- GC cost model accounting --------------------------------------- *)
+
+  (* Two procs drive a shared per-proc minor-heap cost model ([minor_pp],
+     the simulator's newest collector) under the platform lock — the way
+     the real machine serializes its GC bookkeeping — with tiny regions so
+     both the independent-minor path and the promoted-words major trigger
+     are reached within the exploration bound.  A mirror of the accounting
+     rules is kept in scenario state; on every explored schedule the model
+     and the mirror must agree (word conservation, minor/major counts, the
+     trigger raised exactly at the promotion budget). *)
+  let gc_minor_pp_scenario () =
+    C.run (fun () ->
+        let region = 16 in
+        let survival = 0.5 in
+        let module M =
+          (val Sim.Gc_model.instance Sim.Gc_model.Minor_pp
+                 {
+                   Sim.Gc_model.procs = 2;
+                   region_words = region;
+                   survival;
+                   cycles_per_word = 1.0;
+                   fixed_cycles = 1;
+                   parallelism = 1.0;
+                   minor_fixed_cycles = 1;
+                   barrier_cycles = 1;
+                 })
+        in
+        let minor_region = max 1 (region / 2) in
+        let l = C.Lock.mutex_lock () in
+        let used = [| 0; 0 |] in
+        let promoted = ref 0 in
+        let minors = ref 0 in
+        let majors = ref 0 in
+        let allocated = ref 0 in
+        let collected = ref 0 in
+        let alloc proc words =
+          C.Lock.lock l;
+          allocated := !allocated + words;
+          (if M.admit ~proc ~words then begin
+             C.Work.poll ();
+             (* the admission stays valid across the visible point: only
+                the lock holder may touch the model *)
+             M.commit_fast ~proc ~words;
+             used.(proc) <- used.(proc) + words
+           end
+           else begin
+             let pause, got = M.alloc_slow ~proc ~words in
+             used.(proc) <- used.(proc) + words;
+             if used.(proc) >= minor_region then begin
+               check (got = used.(proc))
+                 "gc: minor scanned %d words, region held %d" got used.(proc);
+               check (pause > 0) "gc: minor collection priced at 0 cycles";
+               incr minors;
+               collected := !collected + got;
+               promoted :=
+                 !promoted
+                 + int_of_float (survival *. float_of_int used.(proc));
+               used.(proc) <- 0
+             end
+             else
+               check
+                 (pause = 0 && got = 0)
+                 "gc: phantom collection (pause %d, scanned %d)" pause got
+           end);
+          check
+            (M.region_used () = !promoted)
+            "gc: promoted %d words, model says %d" !promoted (M.region_used ());
+          check
+            (!M.pending = (!promoted >= region))
+            "gc: major trigger %b at %d/%d promoted words" !M.pending !promoted
+            region;
+          if !M.pending then begin
+            let e = M.episode ~waiters:2 in
+            check
+              (e.Sim.Gc_model.kind = Sim.Gc_model.Major)
+              "gc: pending episode not a major";
+            check
+              (e.Sim.Gc_model.region_words = !promoted)
+              "gc: major collects %d words, %d promoted"
+              e.Sim.Gc_model.region_words !promoted;
+            M.finish_episode e;
+            incr majors;
+            promoted := 0
+          end;
+          C.Lock.unlock l
+        in
+        C.spawn (fun () -> List.iter (alloc 1) [ 3; 5; 7; 2 ]);
+        List.iter (alloc 0) [ 4; 6; 2; 5 ];
+        join ();
+        check
+          (M.minor_collections () = !minors)
+          "gc: %d minors ran, model counted %d" !minors
+          (M.minor_collections ());
+        check
+          (M.major_collections () = !majors)
+          "gc: %d majors ran, model counted %d" !majors
+          (M.major_collections ());
+        check
+          (!allocated = !collected + used.(0) + used.(1))
+          "gc: %d words allocated but %d scanned + %d resident" !allocated
+          !collected
+          (used.(0) + used.(1)))
+
   (* ---- the full thread package (heavy) -------------------------------- *)
 
   let threads_scenario ?sched () =
@@ -536,6 +639,7 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("proc_pool", proc_pool_scenario);
       ("numa_lock_invalidation", numa_lock_invalidation_scenario);
       ("numa_ws_steal", numa_ws_steal_scenario);
+      ("gc_minor_pp", gc_minor_pp_scenario);
     ]
 
   (* One pool scenario per scheduler policy: the whole family must survive

@@ -230,6 +230,14 @@ module Make
   end
 
   let last_elapsed = ref 0.
+  let last_gc_count = ref 0
+
+  (* Host collections (minor + major) since program start; [Gc.quick_stat]
+     on OCaml 5 reports process-wide totals, so a run delta covers every
+     domain the run used. *)
+  let host_collections () =
+    let g = Gc.quick_stat () in
+    g.Gc.minor_collections + g.Gc.major_collections
 
   let all_free_no_inbox () =
     Array.for_all (fun s -> s.state = Free && s.inbox = None) slots
@@ -310,10 +318,12 @@ module Make
     in
     slots.(0).state <- Busy;
     let t0 = Unix.gettimeofday () in
+    let g0 = host_collections () in
     Fun.protect
       ~finally:(fun () ->
         running := false;
-        last_elapsed := Unix.gettimeofday () -. t0)
+        last_elapsed := Unix.gettimeofday () -. t0;
+        last_gc_count := host_collections () - g0)
       (fun () ->
         serve slots.(0) (Engine.Start root_thunk);
         Fun.protect ~finally:teardown root_service_loop;
@@ -329,13 +339,15 @@ module Make
       (fun i s ->
         t.per_proc.(i).busy <- s.stats.busy;
         t.per_proc.(i).idle <- s.stats.idle;
+        t.per_proc.(i).gc_wait <- s.stats.gc_wait;
         t.per_proc.(i).lock_spins <- s.stats.lock_spins;
         t.per_proc.(i).alloc_words <- s.stats.alloc_words)
       slots;
-    { t with elapsed = !last_elapsed }
+    { t with elapsed = !last_elapsed; gc_count = !last_gc_count }
 
   let reset_stats () =
     last_elapsed := 0.;
+    last_gc_count := 0;
     Array.iter
       (fun s ->
         s.stats.busy <- 0.;

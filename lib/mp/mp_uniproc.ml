@@ -102,7 +102,13 @@ struct
 
   let last_elapsed = ref 0.
   let last_alloc_words = ref 0
+  let last_gc_count = ref 0
   let running = ref false
+
+  (* Host collections (minor + major) since program start, for run deltas. *)
+  let host_collections () =
+    let g = Gc.quick_stat () in
+    g.Gc.minor_collections + g.Gc.major_collections
 
   let rec exec ~on_exn action =
     match action with
@@ -123,6 +129,7 @@ struct
     in
     let t0 = Unix.gettimeofday () in
     let w0 = Gc.minor_words () in
+    let g0 = host_collections () in
     if Telemetry.enabled () then
       Telemetry.emit (Obs.Event.Dispatch { proc = 0; clock = Telemetry.now_ts () });
     Fun.protect
@@ -130,6 +137,7 @@ struct
         running := false;
         last_elapsed := Unix.gettimeofday () -. t0;
         last_alloc_words := int_of_float (Gc.minor_words () -. w0);
+        last_gc_count := host_collections () - g0;
         if Telemetry.enabled () then
           Telemetry.emit
             (Obs.Event.Freed { proc = 0; clock = Telemetry.now_ts () }))
@@ -149,11 +157,12 @@ struct
     t.per_proc.(0).busy <- !last_elapsed;
     t.per_proc.(0).lock_spins <- !Lock.spins;
     t.per_proc.(0).alloc_words <- !last_alloc_words;
-    { t with elapsed = !last_elapsed }
+    { t with elapsed = !last_elapsed; gc_count = !last_gc_count }
 
   let reset_stats () =
     last_elapsed := 0.;
     last_alloc_words := 0;
+    last_gc_count := 0;
     Lock.spins := 0
 end
 

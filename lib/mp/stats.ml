@@ -59,6 +59,9 @@ let total_alloc_words t =
 let total_lock_spins t =
   Array.fold_left (fun acc p -> acc + p.lock_spins) 0 t.per_proc
 
+let total_gc_wait t =
+  Array.fold_left (fun acc p -> acc +. p.gc_wait) 0. t.per_proc
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>platform=%s procs=%d elapsed=%.6fs gc=%.6fs (%d) bus=%.1f%% \

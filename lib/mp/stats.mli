@@ -2,10 +2,11 @@
 
     The simulator fills every field from its virtual-time accounting.
     Real backends fill what the host can measure — [elapsed], per-proc
-    [busy]/[idle], [lock_spins] (counted by the lock implementations) and
-    [alloc_words] (per-domain minor-heap deltas on the domains backend) —
-    and leave the purely-simulated fields (gc model, bus model) at
-    zero. *)
+    [busy]/[idle], [lock_spins] (counted by the lock implementations),
+    [alloc_words] (per-domain minor-heap deltas on the domains backend)
+    and [gc_count] (host [Gc.quick_stat] collection deltas over the run)
+    — and leave the purely-simulated fields (gc pause model, bus model)
+    at zero. *)
 
 type proc_stats = {
   mutable busy : float;  (** seconds spent running client code *)
@@ -19,8 +20,8 @@ type t = {
   platform : string;
   procs : int;  (** number of procs configured *)
   elapsed : float;  (** seconds (virtual on the simulator, wall otherwise) *)
-  gc_time : float;  (** total stop-the-world collection seconds *)
-  gc_count : int;
+  gc_time : float;  (** total collection pause seconds (simulator only) *)
+  gc_count : int;  (** collections during the run (minor + major) *)
   bus_busy : float;  (** seconds the shared memory bus was occupied *)
   bus_bytes : int;  (** total bytes transferred over the bus *)
   sched_decisions : int;
@@ -50,5 +51,9 @@ val bus_utilization : t -> float
 
 val total_alloc_words : t -> int
 val total_lock_spins : t -> int
+
+val total_gc_wait : t -> float
+(** Seconds procs spent stalled for collection, summed over procs:
+    barrier waits plus their own minor pauses. *)
 
 val pp : Format.formatter -> t -> unit

@@ -9,11 +9,23 @@ let category_name = function
   | Select -> "select"
   | Cml -> "cml"
 
+(* Which collector episode a Gc_start opens: a stop-the-world major, a
+   proc-local minor (per-proc minor-heap model; other procs keep running),
+   or a parallel stop-the-world copy. *)
+type gc_kind = Minor | Major | Par
+
+let gc_kind_name = function Minor -> "minor" | Major -> "major" | Par -> "par"
+
 type t =
   | Dispatch of { proc : int; clock : int }
   | Freed of { proc : int; clock : int }
   | Acquired of { proc : int; by : int; clock : int }
-  | Gc_start of { clock : int; region_words : int }
+  | Gc_start of {
+      clock : int;
+      region_words : int;
+      kind : gc_kind;
+      waiters : int;
+    }
   | Gc_end of { clock : int; duration : int }
   | Coalesced of { proc : int; clock : int; cycles : int }
   | Fork of { proc : int; clock : int; thread : int }
@@ -68,8 +80,15 @@ let pp fmt = function
   | Freed { proc; clock } -> Format.fprintf fmt "%10d free     p%d" clock proc
   | Acquired { proc; by; clock } ->
       Format.fprintf fmt "%10d acquire  p%d (by p%d)" clock proc by
-  | Gc_start { clock; region_words } ->
+  (* Major keeps the original rendering byte for byte: stw-run traces (and
+     the tooling pinned to them) must not drift. *)
+  | Gc_start { clock; region_words; kind = Major; _ } ->
       Format.fprintf fmt "%10d gc-start (region %d words)" clock region_words
+  | Gc_start { clock; region_words; kind = Minor; _ } ->
+      Format.fprintf fmt "%10d gc-minor (region %d words)" clock region_words
+  | Gc_start { clock; region_words; kind = Par; waiters } ->
+      Format.fprintf fmt "%10d gc-start (region %d words, %d waiters)" clock
+        region_words waiters
   | Gc_end { clock; duration } ->
       Format.fprintf fmt "%10d gc-end   (%d cycles)" clock duration
   | Coalesced { proc; clock; cycles } ->
@@ -104,8 +123,9 @@ let to_json e =
   | Freed { proc; _ } -> Printf.sprintf "%s,\"proc\":%d}" (head "freed") proc
   | Acquired { proc; by; _ } ->
       Printf.sprintf "%s,\"proc\":%d,\"by\":%d}" (head "acquired") proc by
-  | Gc_start { region_words; _ } ->
-      Printf.sprintf "%s,\"region_words\":%d}" (head "gc_start") region_words
+  | Gc_start { region_words; kind; waiters; _ } ->
+      Printf.sprintf "%s,\"region_words\":%d,\"kind\":%S,\"waiters\":%d}"
+        (head "gc_start") region_words (gc_kind_name kind) waiters
   | Gc_end { duration; _ } ->
       Printf.sprintf "%s,\"duration\":%d}" (head "gc_end") duration
   | Coalesced { proc; cycles; _ } ->

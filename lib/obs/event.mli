@@ -16,12 +16,26 @@ type category = Sched | Proc | Lock | Gc | Sync | Select | Cml
 val category_name : category -> string
 (** Lower-case label used in the JSONL encoding. *)
 
+type gc_kind =
+  | Minor  (** proc-local minor collection; other procs keep running *)
+  | Major  (** stop-the-world collection (the historical [stw] model) *)
+  | Par  (** stop-the-world with the copy split over parallel collectors *)
+
+val gc_kind_name : gc_kind -> string
+(** Lower-case label used in the JSONL encoding. *)
+
 type t =
   | Dispatch of { proc : int; clock : int }
       (** the scheduler handed the proc to its pending action *)
   | Freed of { proc : int; clock : int }  (** the proc was released *)
   | Acquired of { proc : int; by : int; clock : int }
-  | Gc_start of { clock : int; region_words : int }
+  | Gc_start of {
+      clock : int;
+      region_words : int;
+      kind : gc_kind;
+      waiters : int;
+          (** procs parked at the barrier (0 for a proc-local minor) *)
+    }
   | Gc_end of { clock : int; duration : int }
   | Coalesced of { proc : int; clock : int; cycles : int }
       (** [cycles] of charges the simulator's run-ahead fast path absorbed

@@ -1,11 +1,14 @@
 type sample = {
   machine : string;
   sched : string;
+  gc_model : string;
   bench : string;
   procs : int;
   elapsed : float;
   gc : float;
   gc_count : int;
+  gc_minor : int;
+  gc_major : int;
   idle : float;
   bus_mb : float;
   bus_util : float;
@@ -61,11 +64,14 @@ struct
     {
       machine = M.config.Sim.Sim_config.name;
       sched = sched_name;
+      gc_model = Sim.Gc_model.to_string M.config.Sim.Sim_config.gc;
       bench;
       procs;
       elapsed = st.Mp.Stats.elapsed;
       gc = st.Mp.Stats.gc_time;
       gc_count = st.Mp.Stats.gc_count;
+      gc_minor = P.Machine.gc_minor_collections ();
+      gc_major = P.Machine.gc_major_collections ();
       idle = Mp.Stats.idle_fraction st;
       bus_mb = P.Machine.bus_mb_per_sec ();
       bus_util = Mp.Stats.bus_utilization st;
@@ -146,11 +152,12 @@ let grid (config : Sim.Sim_config.t) plist =
 let parallel_sweep config ~jobs plist =
   Exec.Job_pool.map ~jobs (run_cell config) (grid config plist)
 
-(* Full-sweep caches, keyed by scheduling policy so default and non-default
-   sweeps coexist within one process (the bench driver sweeps several). *)
-let sequent_cache : (string, sample list) Hashtbl.t = Hashtbl.create 4
-let sgi_cache : (string, sample list) Hashtbl.t = Hashtbl.create 4
-let seq_base_cache : (string * string * int, float) Hashtbl.t =
+(* Full-sweep caches, keyed by (scheduling policy, gc model) so default and
+   non-default sweeps coexist within one process (the bench driver sweeps
+   several). *)
+let sequent_cache : (string * string, sample list) Hashtbl.t = Hashtbl.create 4
+let sgi_cache : (string * string, sample list) Hashtbl.t = Hashtbl.create 4
+let seq_base_cache : (string * string * string * int, float) Hashtbl.t =
   Hashtbl.create 16
 
 (* Run [f] with the Sequent platform's telemetry streaming to [path] as
@@ -166,37 +173,45 @@ let trace_sequent path f =
       close_out oc)
     f
 
-let sequent_sweep ?plist ?jobs ?(sched = "distributed") () =
+let sequent_sweep ?plist ?jobs ?(sched = "distributed") ?(gc = "stw") () =
   let jobs = Exec.Job_pool.resolve_jobs jobs in
   if Sequent.P.Telemetry.enabled () then
     (* A trace sink is attached to the shared Sequent machine: run the
        cells on it, sequentially, so their events stream to the sink.
-       The shared machine is the default-policy one, so traced sweeps
-       always run under the distributed policy. *)
+       The shared machine is the default-policy, default-collector one, so
+       traced sweeps always run under distributed scheduling and stw GC. *)
     Sequent.run ?plist ()
   else
-    let config = { sequent_config with Sim.Sim_config.sched } in
-    match (Hashtbl.find_opt sequent_cache sched, plist) with
+    let config =
+      Sim.Sim_config.with_gc
+        { sequent_config with Sim.Sim_config.sched }
+        (Sim.Gc_model.of_string_exn gc)
+    in
+    match (Hashtbl.find_opt sequent_cache (sched, gc), plist) with
     | Some s, None -> s
     | _ ->
         let s =
           parallel_sweep config ~jobs
             (Option.value plist ~default:default_procs)
         in
-        if plist = None then Hashtbl.replace sequent_cache sched s;
+        if plist = None then Hashtbl.replace sequent_cache (sched, gc) s;
         s
 
-let sgi_sweep ?plist ?jobs ?(sched = "distributed") () =
+let sgi_sweep ?plist ?jobs ?(sched = "distributed") ?(gc = "stw") () =
   let jobs = Exec.Job_pool.resolve_jobs jobs in
-  let config = { sgi_config with Sim.Sim_config.sched } in
-  match (Hashtbl.find_opt sgi_cache sched, plist) with
+  let config =
+    Sim.Sim_config.with_gc
+      { sgi_config with Sim.Sim_config.sched }
+      (Sim.Gc_model.of_string_exn gc)
+  in
+  match (Hashtbl.find_opt sgi_cache (sched, gc), plist) with
   | Some s, None -> s
   | _ ->
       let s =
         parallel_sweep config ~jobs
           (Option.value plist ~default:default_procs)
       in
-      if plist = None then Hashtbl.replace sgi_cache sched s;
+      if plist = None then Hashtbl.replace sgi_cache (sched, gc) s;
       s
 
 (* Machine-parameterized sweep over any [Sim_config.of_machine_string]
@@ -209,40 +224,62 @@ let machine_procs (config : Sim.Sim_config.t) =
     [ 1; 4; 16; 64; 256; 1024 ]
     |> List.filter (fun p -> p <= config.Sim.Sim_config.procs)
 
-let machine_cache : (string * string, sample list) Hashtbl.t = Hashtbl.create 4
+let machine_cache : (string * string * string, sample list) Hashtbl.t =
+  Hashtbl.create 4
 
-let machine_sweep ?plist ?jobs ?(sched = "distributed") ~machine () =
+let machine_sweep ?plist ?jobs ?(sched = "distributed") ?(gc = "stw") ~machine
+    () =
   let jobs = Exec.Job_pool.resolve_jobs jobs in
-  let config = Sim.Sim_config.of_machine_string_exn ~sched machine in
-  match (Hashtbl.find_opt machine_cache (machine, sched), plist) with
+  let config =
+    Sim.Sim_config.of_machine_string_exn ~sched
+      ~gc:(Sim.Gc_model.of_string_exn gc)
+      machine
+  in
+  match (Hashtbl.find_opt machine_cache (machine, sched, gc), plist) with
   | Some s, None -> s
   | _ ->
       let s =
         parallel_sweep config ~jobs
           (Option.value plist ~default:(machine_procs config))
       in
-      if plist = None then Hashtbl.replace machine_cache (machine, sched) s;
+      if plist = None then
+        Hashtbl.replace machine_cache (machine, sched, gc) s;
       s
+
+(* The §6 headroom replay (E8): the same machine and schedule swept once per
+   GC cost model, so the fig6 curves can be laid side by side.  [stw] is the
+   paper's sequential stop-the-world collector; [par_stw] splits the copy
+   across the barrier waiters; [minor_pp] gives each proc a private minor
+   heap and only stops the world for majors over promoted words. *)
+let gc_models = [ "stw"; "par_stw"; "minor_pp" ]
+
+let gc_sweep ?plist ?jobs ?(sched = "distributed") ?(machine = "sequent") () =
+  List.map
+    (fun gc -> (gc, machine_sweep ?plist ?jobs ~sched ~gc ~machine ()))
+    gc_models
 
 let find samples ~bench ~procs =
   List.find (fun s -> s.bench = bench && s.procs = procs) samples
 
-let seq_baseline machine ~sched ~copies =
-  let key = (machine, sched, copies) in
+let seq_baseline machine ~sched ~gc ~copies =
+  let key = (machine, sched, gc, copies) in
   match Hashtbl.find_opt seq_base_cache key with
   | Some t -> t
   | None ->
       let t =
-        if sched = "distributed" && machine = "sgi" then
+        if sched = "distributed" && gc = "stw" && machine = "sgi" then
           Sgi.seq_baseline ~copies
-        else if sched = "distributed" && machine = "sequent" then
+        else if sched = "distributed" && gc = "stw" && machine = "sequent" then
           Sequent.seq_baseline ~copies
         else begin
-          (* non-default policy or machine: a private machine instance *)
+          (* non-default policy, collector, or machine: a private instance *)
           let config =
             match Sim.Sim_config.of_machine_string ~sched machine with
             | Ok c -> c
             | Error _ -> { sequent_config with Sim.Sim_config.sched }
+          in
+          let config =
+            Sim.Sim_config.with_gc config (Sim.Gc_model.of_string_exn gc)
           in
           let module C =
             Sweep (struct
@@ -259,7 +296,8 @@ let seq_baseline machine ~sched ~copies =
 let speedup samples ~bench ~procs =
   let s = find samples ~bench ~procs in
   if bench = "seq" then
-    seq_baseline s.machine ~sched:s.sched ~copies:procs /. s.elapsed
+    seq_baseline s.machine ~sched:s.sched ~gc:s.gc_model ~copies:procs
+    /. s.elapsed
   else
     let base = find samples ~bench ~procs:1 in
     base.elapsed /. s.elapsed
@@ -359,6 +397,43 @@ let print_gc_ablation fmt samples =
              string_of_int s.gc_count;
            ])
          benches)
+
+let print_gc_models fmt sweeps =
+  Render.section fmt
+    "E8: GC cost models (paper 6.2: collector headroom -- stw vs par_stw vs \
+     minor_pp)";
+  (match sweeps with
+  | (_, samples) :: _ ->
+      let ps = procs_of samples in
+      let pmax = List.fold_left max 1 ps in
+      List.iter
+        (fun bench ->
+          Format.fprintf fmt "@.%s: speedup per collector@." bench;
+          Render.series fmt ~xlabel:"speedup@procs" ~xs:ps
+            ~rows:
+              (List.map
+                 (fun (gc, samples) ->
+                   (gc, List.map (fun p -> speedup samples ~bench ~procs:p) ps))
+                 sweeps))
+        benches;
+      Format.fprintf fmt "@.collector accounting at %d procs (mm):@." pmax;
+      Render.table fmt
+        ~header:
+          [ "model"; "speedup"; "gc share"; "minors"; "majors"; "verified" ]
+        ~rows:
+          (List.map
+             (fun (gc, samples) ->
+               let s = find samples ~bench:"mm" ~procs:pmax in
+               [
+                 gc;
+                 Printf.sprintf "%.2f" (speedup samples ~bench:"mm" ~procs:pmax);
+                 Printf.sprintf "%.0f%%" (100. *. s.gc /. s.elapsed);
+                 string_of_int s.gc_minor;
+                 string_of_int s.gc_major;
+                 (if s.verified then "yes" else "NO");
+               ])
+             sweeps)
+  | [] -> Format.fprintf fmt "no samples@.")
 
 let print_lock_latency fmt =
   Render.section fmt

@@ -10,11 +10,14 @@ type sample = {
   machine : string;
       (** machine name: "sequent", "sgi", or a "numa:<nodes>x<procs>" *)
   sched : string;  (** scheduling policy the cell ran under *)
+  gc_model : string;  (** GC cost model ({!Sim.Gc_model.to_string}) *)
   bench : string;
   procs : int;
   elapsed : float;  (** virtual seconds *)
   gc : float;
-  gc_count : int;
+  gc_count : int;  (** minor + major collections *)
+  gc_minor : int;  (** proc-local minor collections (0 under stw/par_stw) *)
+  gc_major : int;  (** stop-the-world collections *)
   idle : float;  (** mean idle fraction *)
   bus_mb : float;  (** bus traffic MB/s *)
   bus_util : float;
@@ -28,14 +31,20 @@ val default_procs : int list
 (** 1, 2, 4, 6, 8, 10, 12, 14, 16 — Figure 6's x axis. *)
 
 val sequent_sweep :
-  ?plist:int list -> ?jobs:int -> ?sched:string -> unit -> sample list
-(** Full sweep on the 16-processor Sequent model (cached per policy after
-    first call).
+  ?plist:int list ->
+  ?jobs:int ->
+  ?sched:string ->
+  ?gc:string ->
+  unit ->
+  sample list
+(** Full sweep on the 16-processor Sequent model (cached per
+    (policy, collector) after first call).
 
     [sched] is the scheduling policy for every pool in the sweep, in
     {!Mpthreads.Sched_policy.of_string} syntax; default ["distributed"].
-    Traced sweeps (a sink attached via {!trace_sequent}) always run on the
-    shared default-policy machine.
+    [gc] is the GC cost model in {!Sim.Gc_model.of_string} syntax; default
+    ["stw"].  Traced sweeps (a sink attached via {!trace_sequent}) always
+    run on the shared default-policy, default-collector machine.
 
     [jobs] fans the grid's (bench, procs) cells across that many host
     domains via {!Exec.Job_pool} — every cell runs on a private machine
@@ -46,22 +55,43 @@ val sequent_sweep :
     shared traced machine regardless of [jobs]. *)
 
 val sgi_sweep :
-  ?plist:int list -> ?jobs:int -> ?sched:string -> unit -> sample list
-(** Sweep on the 8-processor SGI model (cached); [jobs] and [sched] as in
-    {!sequent_sweep}. *)
+  ?plist:int list ->
+  ?jobs:int ->
+  ?sched:string ->
+  ?gc:string ->
+  unit ->
+  sample list
+(** Sweep on the 8-processor SGI model (cached); [jobs], [sched] and [gc]
+    as in {!sequent_sweep}. *)
 
 val machine_sweep :
   ?plist:int list ->
   ?jobs:int ->
   ?sched:string ->
+  ?gc:string ->
   machine:string ->
   unit ->
   sample list
 (** Sweep on any {!Sim.Sim_config.of_machine_string} selector (["sequent"],
     ["sgi"], ["numa:<nodes>x<procs>"], ["numa1024"]); cached per
-    (machine, sched).  Machines larger than 16 procs default to the
+    (machine, sched, gc).  Machines larger than 16 procs default to the
     powers-of-four proc list [1; 4; 16; 64; 256; 1024] clamped to the
-    machine size; [jobs] and [sched] as in {!sequent_sweep}. *)
+    machine size; [jobs], [sched] and [gc] as in {!sequent_sweep}. *)
+
+val gc_models : string list
+(** The three collectors of the E8 headroom replay:
+    ["stw"; "par_stw"; "minor_pp"]. *)
+
+val gc_sweep :
+  ?plist:int list ->
+  ?jobs:int ->
+  ?sched:string ->
+  ?machine:string ->
+  unit ->
+  (string * sample list) list
+(** One {!machine_sweep} per collector in {!gc_models} on the same machine
+    (default ["sequent"]) and schedule, for the paper-§6.2 "how much does
+    the sequential stop-the-world collector cost us" replay (E8). *)
 
 val trace_sequent : string -> (unit -> 'a) -> 'a
 (** [trace_sequent path f] runs [f] with the Sequent platform's telemetry
@@ -80,6 +110,10 @@ val print_fig6 : Format.formatter -> sample list -> unit
 val print_idle : Format.formatter -> sample list -> unit
 val print_bus : Format.formatter -> sample list -> unit
 val print_gc_ablation : Format.formatter -> sample list -> unit
+
+(** Render a {!gc_sweep}: per-benchmark speedup curves laid side by side
+    per collector, plus a collector-accounting table at max procs (E8). *)
+val print_gc_models : Format.formatter -> (string * sample list) list -> unit
 val print_lock_latency : Format.formatter -> unit
 val print_portability : Format.formatter -> unit
 val print_sgi : Format.formatter -> sample list -> unit

@@ -138,10 +138,27 @@ struct
   let bus_total_bytes = ref 0
   let remote_bytes = ref 0
   let invalidations = ref 0
-  let region_used = ref 0
-  let gc_pending = ref false
-  let gc_count = ref 0
-  let gc_cycles_total = ref 0
+
+  (* GC cost model: all region accounting (admission, trigger, episode
+     pricing) lives behind [Gc_model.MODEL]; the scheduler only parks
+     procs while [gc_pending] is set and prices the barrier via
+     [GcM.episode].  The default [Stw] instance is the former inline code
+     term for term, so goldens are unchanged. *)
+  module GcM = (val Gc_model.instance config.gc
+                      {
+                        Gc_model.procs = config.procs;
+                        region_words = config.gc_region_words;
+                        survival = config.gc_survival;
+                        cycles_per_word = config.gc_cycles_per_word;
+                        fixed_cycles = config.gc_fixed_cycles;
+                        parallelism = config.gc_parallelism;
+                        minor_fixed_cycles = config.gc_minor_fixed_cycles;
+                        barrier_cycles = config.gc_barrier_cycles;
+                      })
+
+  let gc_pending = GcM.pending
+  let gc_collections () = GcM.minor_collections () + GcM.major_collections ()
+  let gc_pause_cycles () = GcM.pause_cycles ()
   let max_clock = ref 0
   let sched_decisions_ct = ref 0
   let coalesced_ct = ref 0
@@ -409,29 +426,55 @@ struct
      of arriving as one long FCFS burst. *)
   let alloc_slice_words = 256
 
+  (* Slow-path allocation accounting, shared by [alloc_one_slice] and
+     [work_slow]: route the words through the GC model (which may set
+     [gc_pending]) and, when the model ran an independent minor collection
+     ([minor_pp]), charge its pause to this proc alone — the other procs
+     keep running, which is the whole point of per-proc minor heaps.  The
+     pause is a suspension-path effect, so virtual time stays identical
+     with and without the run-ahead fast path. *)
+  let alloc_slow_account p words =
+    p.alloc_words <- p.alloc_words + words;
+    let pause, collected = GcM.alloc_slow ~proc:p.id ~words in
+    if pause > 0 then begin
+      if tracing () then
+        trace_event
+          (Sim_trace.Gc_start
+             {
+               clock = p.clock;
+               region_words = collected;
+               kind = Minor;
+               waiters = 0;
+             });
+      p.clock <- p.clock + pause;
+      p.gc_wait <- p.gc_wait + pause;
+      observe_clock p.clock;
+      if tracing () then
+        trace_event (Sim_trace.Gc_end { clock = p.clock; duration = pause })
+    end
+
   let alloc_one_slice words =
     if words > 0 then begin
       let p = cur () in
       let cpu =
         int_of_float (config.alloc_cycles_per_word *. float_of_int words)
       in
-      (* Fast path additionally requires that this slice does not fill the
-         allocation region: a GC trigger must park the proc. *)
+      (* Fast path additionally requires the model's admission predicate
+         (this slice cannot fill the allocation region): a GC trigger must
+         park the proc. *)
       if
-        !region_used + words < config.gc_region_words
+        GcM.admit ~proc:p.id ~words
         && inline_charge p ~cpu ~bytes:(words * config.word_bytes) ~idle:false
       then begin
         p.alloc_words <- p.alloc_words + words;
-        region_used := !region_used + words
+        GcM.commit_fast ~proc:p.id ~words
       end
       else
         Engine.suspend (fun c ->
             p.clock <- p.clock + cpu;
             p.busy <- p.busy + cpu;
             bus_transfer p (words * config.word_bytes);
-            p.alloc_words <- p.alloc_words + words;
-            region_used := !region_used + words;
-            if !region_used >= config.gc_region_words then gc_pending := true;
+            alloc_slow_account p words;
             yield_ready p c)
     end
 
@@ -473,30 +516,29 @@ struct
     done
 
   let run_gc () =
-    let gc_started_region = !region_used in
     let gc_start =
       Array.fold_left
         (fun acc p ->
           match p.state with Gc_waiting _ -> max acc p.clock | _ -> acc)
         0 procs
     in
-    let copied =
-      int_of_float (config.gc_survival *. float_of_int !region_used)
-    in
     let waiters =
       Array.fold_left
         (fun acc p -> match p.state with Gc_waiting _ -> acc + 1 | _ -> acc)
         0 procs
     in
-    let par = Float.min config.gc_parallelism (float_of_int (max 1 waiters)) in
-    let dur =
-      config.gc_fixed_cycles
-      + int_of_float (config.gc_cycles_per_word *. float_of_int copied /. par)
-    in
+    let ep = GcM.episode ~waiters in
+    let dur = ep.Gc_model.duration in
     let finish = gc_start + dur in
     if tracing () then
       trace_event
-        (Sim_trace.Gc_start { clock = gc_start; region_words = gc_started_region });
+        (Sim_trace.Gc_start
+           {
+             clock = gc_start;
+             region_words = ep.Gc_model.region_words;
+             kind = ep.Gc_model.kind;
+             waiters;
+           });
     (* Release before clearing gc_pending so [set_ready]'s heap pushes see a
        consistent world; clocks all equal [finish], so dispatch order among
        the released procs is by id, as with the scan. *)
@@ -512,10 +554,7 @@ struct
     observe_clock finish;
     if tracing () then
       trace_event (Sim_trace.Gc_end { clock = finish; duration = dur });
-    gc_cycles_total := !gc_cycles_total + dur;
-    incr gc_count;
-    region_used := 0;
-    gc_pending := false
+    GcM.finish_episode ep
 
   (* Service a parked poller popped at its wake key.  Each iteration is one
      reference-machine dispatch: count a decision, evaluate the predicate at
@@ -573,14 +612,14 @@ struct
     | W_charge n -> n <= 0 || inline_charge p ~cpu:n ~bytes:0 ~idle:false
     | W_alloc w ->
         w <= 0
-        || !region_used + w < config.gc_region_words
+        || GcM.admit ~proc:p.id ~words:w
            && (let cpu =
                  int_of_float (config.alloc_cycles_per_word *. float_of_int w)
                in
                inline_charge p ~cpu ~bytes:(w * config.word_bytes) ~idle:false)
            && begin
                 p.alloc_words <- p.alloc_words + w;
-                region_used := !region_used + w;
+                GcM.commit_fast ~proc:p.id ~words:w;
                 true
               end
 
@@ -598,9 +637,7 @@ struct
         p.clock <- p.clock + cpu;
         p.busy <- p.busy + cpu;
         bus_transfer p (w * config.word_bytes);
-        p.alloc_words <- p.alloc_words + w;
-        region_used := !region_used + w;
-        if !region_used >= config.gc_region_words then gc_pending := true
+        alloc_slow_account p w
 
   let rec work_dispatch p ops k =
     match ops with
@@ -690,7 +727,7 @@ struct
       procs;
     Buffer.add_string b
       (Printf.sprintf "region=%d gc_pending=%b bus_free_at=[%s] link_free_at=%d\n"
-         !region_used !gc_pending
+         (GcM.region_used ()) !gc_pending
          (String.concat ";"
             (Array.to_list (Array.map string_of_int bus_free_at)))
          !link_free_at);
@@ -1110,10 +1147,7 @@ struct
     bus_total_bytes := 0;
     remote_bytes := 0;
     invalidations := 0;
-    region_used := 0;
-    gc_pending := false;
-    gc_count := 0;
-    gc_cycles_total := 0;
+    GcM.reset ();
     max_clock := 0;
     sched_decisions_ct := 0;
     coalesced_ct := 0;
@@ -1133,8 +1167,12 @@ struct
     set "sim.coalesced_charges" !coalesced_ct;
     set "sim.idle_parks" !idle_parks_ct;
     set "sim.idle_polls" !idle_polls_ct;
-    set "gc.collections" !gc_count;
-    set "gc.cycles" !gc_cycles_total;
+    set "gc.collections" (gc_collections ());
+    set "gc.cycles" (gc_pause_cycles ());
+    set "gc.minor_count" (GcM.minor_collections ());
+    set "gc.major_count" (GcM.major_collections ());
+    set "gc.pause_cycles" (gc_pause_cycles ());
+    set "gc.wait_cycles" (Array.fold_left (fun acc p -> acc + p.gc_wait) 0 procs);
     set "bus.bytes" !bus_total_bytes;
     set "bus.local_bytes" (!bus_total_bytes - !remote_bytes);
     set "bus.remote_bytes" !remote_bytes;
@@ -1180,8 +1218,8 @@ struct
     {
       t with
       elapsed = secs !max_clock;
-      gc_time = secs !gc_cycles_total;
-      gc_count = !gc_count;
+      gc_time = secs (gc_pause_cycles ());
+      gc_count = gc_collections ();
       bus_busy = secs (Array.fold_left ( + ) 0 bus_busy);
       bus_bytes = !bus_total_bytes;
       sched_decisions = !sched_decisions_ct;
@@ -1200,8 +1238,15 @@ struct
     let coalesced_charges () = !coalesced_ct
     let idle_parks () = !idle_parks_ct
     let idle_polls () = !idle_polls_ct
-    let gc_cycles () = !gc_cycles_total
-    let gc_collections () = !gc_count
+    let gc_model () = Gc_model.to_string config.gc
+    let gc_cycles () = gc_pause_cycles ()
+    let gc_collections () = gc_collections ()
+    let gc_minor_collections () = GcM.minor_collections ()
+    let gc_major_collections () = GcM.major_collections ()
+
+    let gc_wait_cycles () =
+      Array.fold_left (fun acc p -> acc + p.gc_wait) 0 procs
+
     let nodes () = n_nodes
     let bus_bytes () = !bus_total_bytes
     let local_bytes () = !bus_total_bytes - !remote_bytes
@@ -1212,7 +1257,7 @@ struct
     let elapsed_seconds () = Sim_config.cycles_to_seconds config !max_clock
 
     let gc_excluded_seconds () =
-      Sim_config.cycles_to_seconds config (!max_clock - !gc_cycles_total)
+      Sim_config.cycles_to_seconds config (!max_clock - gc_pause_cycles ())
 
     let bus_mb_per_sec () =
       let secs = elapsed_seconds () in

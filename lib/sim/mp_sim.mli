@@ -59,8 +59,25 @@ end)
         for parked pollers; under the always-suspend twin each would have
         been one suspension + one fiber round-trip. *)
 
+    val gc_model : unit -> string
+    (** Name of the configured GC cost model ({!Sim.Gc_model.to_string}). *)
+
     val gc_cycles : unit -> int
+    (** Total pause cycles: stop-the-world durations plus per-proc minor
+        pauses (equal to the old total under the default [stw] model). *)
+
     val gc_collections : unit -> int
+    (** Minor + major collections. *)
+
+    val gc_minor_collections : unit -> int
+    (** Proc-local minor collections (0 under [stw]/[par_stw]). *)
+
+    val gc_major_collections : unit -> int
+    (** Stop-the-world collections. *)
+
+    val gc_wait_cycles : unit -> int
+    (** Cycles procs spent stalled for GC, summed over procs: barrier
+        waits plus their own minor pauses. *)
 
     val nodes : unit -> int
     (** Interconnect nodes of the configured machine (1 under
@@ -117,8 +134,12 @@ end)
     val coalesced_charges : unit -> int
     val idle_parks : unit -> int
     val idle_polls : unit -> int
+    val gc_model : unit -> string
     val gc_cycles : unit -> int
     val gc_collections : unit -> int
+    val gc_minor_collections : unit -> int
+    val gc_major_collections : unit -> int
+    val gc_wait_cycles : unit -> int
     val nodes : unit -> int
     val bus_bytes : unit -> int
     val local_bytes : unit -> int

@@ -33,6 +33,9 @@ type t = {
   gc_cycles_per_word : float;
   gc_fixed_cycles : int;
   gc_parallelism : float;
+  gc_minor_fixed_cycles : int;
+  gc_barrier_cycles : int;
+  gc : Gc_model.t;
   acquire_proc_cycles : int;
   spin_jitter_proc : int;
   spin_jitter_attempt : int;
@@ -68,6 +71,9 @@ let sequent ?(procs = 16) ?(sched = "distributed") () =
     gc_cycles_per_word = 30.;
     gc_fixed_cycles = 100_000;
     gc_parallelism = 1.0;
+    gc_minor_fixed_cycles = 5_000;
+    gc_barrier_cycles = 10_000;
+    gc = Gc_model.default;
     acquire_proc_cycles = 10_000;
     spin_jitter_proc = 37;
     spin_jitter_attempt = 13;
@@ -103,6 +109,9 @@ let sgi ?(procs = 8) ?(sched = "distributed") () =
     gc_cycles_per_word = 10.;
     gc_fixed_cycles = 60_000;
     gc_parallelism = 1.0;
+    gc_minor_fixed_cycles = 3_000;
+    gc_barrier_cycles = 6_000;
+    gc = Gc_model.default;
     acquire_proc_cycles = 6_000;
     spin_jitter_proc = 37;
     spin_jitter_attempt = 13;
@@ -142,8 +151,14 @@ let machine_names = [ "sequent"; "sgi"; "numa:<nodes>x<procs>"; "numa1024" ]
 
 (* Machine selector syntax for [--machine] and sweep drivers.  ["numa1024"]
    is the canonical 1024-proc preset (16 nodes of 64). *)
-let of_machine_string ?sched s =
-  let s = String.lowercase_ascii (String.trim s) in
+let of_machine_string ?sched ?gc str =
+  let apply = function
+    | Ok c -> Ok (match gc with Some g -> { c with gc = g } | None -> c)
+    | Error _ as e -> e
+  in
+  apply
+  @@
+  let s = String.lowercase_ascii (String.trim str) in
   match s with
   | "sequent" | "flat" -> Ok (sequent ?sched ())
   | "sgi" -> Ok (sgi ?sched ())
@@ -170,8 +185,8 @@ let of_machine_string ?sched s =
           | None -> bad ())
       | _ -> bad ())
 
-let of_machine_string_exn ?sched s =
-  match of_machine_string ?sched s with
+let of_machine_string_exn ?sched ?gc s =
+  match of_machine_string ?sched ?gc s with
   | Ok c -> c
   | Error msg -> invalid_arg msg
 
@@ -185,9 +200,24 @@ let procs_per_node c =
 
 let node_of c id = if nodes c = 1 then 0 else id / procs_per_node c
 
+(* GC model selection follows the same scheme as [sched]: the selector is
+   a plain config field, the machine name is untouched (sweeps label their
+   samples with the model separately).  [with_gc c Gc_model.default] is
+   [c] itself, so default-model configs hit the same caches and goldens as
+   before the selector existed. *)
+let with_gc c gc = { c with gc }
+
+let pgc_deprecation_warned = ref false
+
 let with_parallel_gc c factor =
   if factor < 1.0 then invalid_arg "Sim_config.with_parallel_gc";
-  { c with gc_parallelism = factor; name = c.name ^ "+pgc" }
+  if not !pgc_deprecation_warned then begin
+    pgc_deprecation_warned := true;
+    prerr_endline
+      "Sim_config.with_parallel_gc is deprecated: use with_gc / --gc \
+       par_stw:<n> instead"
+  end;
+  with_gc c (Gc_model.Par_stw (max 1 (int_of_float factor)))
 
 let cycles_to_seconds c n = float_of_int n /. (c.mhz *. 1.0e6)
 let seconds_to_cycles c s = int_of_float (s *. c.mhz *. 1.0e6)

@@ -50,9 +50,19 @@ type t = {
   gc_cycles_per_word : float;  (** copy cost per surviving word *)
   gc_fixed_cycles : int;  (** synchronization + redivision overhead *)
   gc_parallelism : float;
-      (** effective speedup of the collection itself; 1.0 = the paper's
-          sequential collector, >1 models the concurrent collector its §7
-          lists as future work *)
+      (** effective speedup of the collection itself under the [stw]
+          model; 1.0 = the paper's sequential collector.  Legacy knob —
+          prefer selecting the [par_stw] model via [gc]. *)
+  gc_minor_fixed_cycles : int;
+      (** fixed cost of one proc-local minor collection ([minor_pp]) *)
+  gc_barrier_cycles : int;
+      (** per-collector synchronization surcharge of a parallel
+          stop-the-world collection ([par_stw]) *)
+  gc : Gc_model.t;
+      (** GC cost model ({!Gc_model.t}): [stw] (default, golden-pinned),
+          [par_stw[:N]] or [minor_pp].  Like [sched], the selector does
+          not change the machine [name]; sweeps label samples with the
+          model separately. *)
   acquire_proc_cycles : int;  (** OS cost of acquiring a proc (§3.1) *)
   spin_jitter_proc : int;
       (** per-proc multiplier of the deterministic spin-retry jitter *)
@@ -120,12 +130,13 @@ val numa : ?nodes:int -> ?procs_per_node:int -> ?sched:string -> unit -> t
 val machine_names : string list
 (** Accepted spellings for {!of_machine_string} ([--machine]). *)
 
-val of_machine_string : ?sched:string -> string -> (t, string) result
+val of_machine_string : ?sched:string -> ?gc:Gc_model.t -> string -> (t, string) result
 (** Parse a machine selector: ["sequent"], ["sgi"], ["numa:<nodes>x<procs>"]
     (e.g. [numa:4x16]), or ["numa1024"], the canonical 1024-proc preset
-    (16 nodes of 64 procs). *)
+    (16 nodes of 64 procs).  [?gc] selects the GC cost model of the
+    resulting config (default {!Gc_model.default}). *)
 
-val of_machine_string_exn : ?sched:string -> string -> t
+val of_machine_string_exn : ?sched:string -> ?gc:Gc_model.t -> string -> t
 
 val nodes : t -> int
 (** Number of nodes (1 under {!Flat_bus}). *)
@@ -137,10 +148,16 @@ val node_of : t -> int -> int
     {!procs_per_node}, so a pool acquiring procs [0..k-1] spans as few
     nodes as possible. *)
 
+val with_gc : t -> Gc_model.t -> t
+(** Same machine under a different GC cost model.  The machine [name] is
+    unchanged (same scheme as [sched]); [with_gc c Gc_model.default] is
+    [c] itself, so goldens pinned under the default model are unaffected. *)
+
 val with_parallel_gc : t -> float -> t
-(** Same machine with the collection itself parallelized by the given
-    factor (capped by the number of procs at the barrier) — the §7
-    "concurrent garbage collection" extension, for ablation. *)
+[@@ocaml.deprecated "use with_gc / --gc par_stw:<n> instead"]
+(** Deprecated alias for {!with_gc} with [Par_stw (int_of_float factor)]:
+    the §7 "concurrent garbage collection" extension, now a first-class
+    {!Gc_model.t}.  Warns on first use. *)
 
 val cycles_to_seconds : t -> int -> float
 val seconds_to_cycles : t -> float -> int

@@ -1,8 +1,15 @@
+type gc_kind = Obs.Event.gc_kind = Minor | Major | Par
+
 type event = Obs.Event.t =
   | Dispatch of { proc : int; clock : int }
   | Freed of { proc : int; clock : int }
   | Acquired of { proc : int; by : int; clock : int }
-  | Gc_start of { clock : int; region_words : int }
+  | Gc_start of {
+      clock : int;
+      region_words : int;
+      kind : gc_kind;
+      waiters : int;
+    }
   | Gc_end of { clock : int; duration : int }
   | Coalesced of { proc : int; clock : int; cycles : int }
   | Fork of { proc : int; clock : int; thread : int }

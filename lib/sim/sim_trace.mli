@@ -10,12 +10,20 @@
     invaluable when a client deadlocks or livelocks (see the
     MP_SIM_DEBUG_ITERS watchdog it complements). *)
 
+type gc_kind = Obs.Event.gc_kind = Minor | Major | Par
+
 type event = Obs.Event.t =
   | Dispatch of { proc : int; clock : int }
       (** the scheduler handed the proc to its pending action *)
   | Freed of { proc : int; clock : int }  (** the proc was released *)
   | Acquired of { proc : int; by : int; clock : int }
-  | Gc_start of { clock : int; region_words : int }
+  | Gc_start of {
+      clock : int;
+      region_words : int;
+      kind : gc_kind;
+      waiters : int;
+          (** procs parked at the barrier (0 for a proc-local minor) *)
+    }
   | Gc_end of { clock : int; duration : int }
   | Coalesced of { proc : int; clock : int; cycles : int }
       (** [cycles] of charges the run-ahead fast path absorbed inline since

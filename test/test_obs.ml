@@ -116,7 +116,10 @@ let test_event_classification () =
   let cat e = Obs.Event.category_name (Obs.Event.category_of e) in
   checks "dispatch" "sched" (cat ev_dispatch);
   checks "freed" "proc" (cat (Obs.Event.Freed { proc = 0; clock = 1 }));
-  checks "gc" "gc" (cat (Obs.Event.Gc_start { clock = 1; region_words = 8 }));
+  checks "gc" "gc"
+    (cat
+       (Obs.Event.Gc_start
+          { clock = 1; region_words = 8; kind = Obs.Event.Major; waiters = 3 }));
   checks "lock" "lock" (cat (Obs.Event.Lock_acquired { proc = 0; clock = 1 }));
   let blocked on =
     cat (Obs.Event.Blocked { proc = 0; clock = 1; thread = 3; on })
@@ -129,7 +132,17 @@ let test_event_classification () =
 let test_event_pp_stable () =
   (* the simulator's original six renderings must not drift *)
   checks "dispatch format" "       100 dispatch p2"
-    (Format.asprintf "%a" Obs.Event.pp ev_dispatch)
+    (Format.asprintf "%a" Obs.Event.pp ev_dispatch);
+  (* a Major gc-start renders exactly as before kind/waiters existed, so
+     stw-run traces are byte-stable across the GC-model refactor *)
+  checks "gc-start major format" "        42 gc-start (region 8 words)"
+    (Format.asprintf "%a" Obs.Event.pp
+       (Obs.Event.Gc_start
+          { clock = 42; region_words = 8; kind = Obs.Event.Major; waiters = 5 }));
+  checks "gc-start minor format" "        42 gc-minor (region 8 words)"
+    (Format.asprintf "%a" Obs.Event.pp
+       (Obs.Event.Gc_start
+          { clock = 42; region_words = 8; kind = Obs.Event.Minor; waiters = 0 }))
 
 let test_event_json_shape () =
   checks "json one-liner"
@@ -165,7 +178,9 @@ let test_sink_jsonl_lines () =
       let oc = open_out path in
       let s = Obs.Sink.jsonl oc in
       s.Obs.Sink.emit ev_dispatch;
-      s.Obs.Sink.emit (Obs.Event.Gc_start { clock = 7; region_words = 64 });
+      s.Obs.Sink.emit
+        (Obs.Event.Gc_start
+           { clock = 7; region_words = 64; kind = Obs.Event.Major; waiters = 1 });
       s.Obs.Sink.flush ();
       close_out oc;
       let ic = open_in path in

@@ -585,6 +585,245 @@ let test_sched_all_policies_correct () =
         expected)
     Mpthreads.Sched_policy.[ Fifo; Lifo; Ws; Micropools 4 ]
 
+(* ---------------- GC cost model family ---------------- *)
+
+(* Requesting the default collector explicitly is the identity:
+   bit-identical to the golden table (the --gc stw / MP_REPRO_GC=stw call
+   path of bench/sim_golden.exe and the stw cells of BENCH_sim.json are
+   generated through exactly this construction). *)
+module GStw =
+  Sim.Mp_sim.Int (struct
+      let config =
+        Sim.Sim_config.with_gc
+          (Sim.Sim_config.sequent ~procs:16 ())
+          (Sim.Gc_model.of_string_exn "stw")
+    end)
+    ()
+
+module GStwB = Workloads.Bench_suite.Make (GStw)
+
+let test_gc_stw_identity () =
+  Alcotest.(check string) "model name" "stw" (GStw.Machine.gc_model ());
+  List.iter
+    (fun (bench, procs) ->
+      let rows = List.assoc bench golden in
+      let makespan, gc, bus, witness =
+        List.fold_left
+          (fun acc (p, m, g, b, w) -> if p = procs then (m, g, b, w) else acc)
+          (0, 0, 0, 0) rows
+      in
+      let tag s = Printf.sprintf "%s@%d %s" bench procs s in
+      let w = GStwB.run_named bench ~procs in
+      check (tag "witness") witness w;
+      check (tag "makespan") makespan (GStw.Machine.makespan_cycles ());
+      check (tag "collections") gc (GStw.Machine.gc_collections ());
+      check (tag "bus bytes") bus (GStw.Machine.bus_bytes ());
+      check (tag "no proc-local minors") 0
+        (GStw.Machine.gc_minor_collections ()))
+    [ ("mm", 16); ("allpairs", 4); ("mst", 1) ]
+
+(* Run-ahead-vs-always-suspend twins for the non-default collectors: the
+   fast path's admission predicate must agree with the slow path on every
+   model's accounting, at the proc counts the rest of the suite does not
+   cover (2 and the SGI-sized 8). *)
+module ParStw =
+  Sim.Mp_sim.Int (struct
+      let config =
+        Sim.Sim_config.with_gc
+          (Sim.Sim_config.sequent ~procs:16 ())
+          (Sim.Gc_model.Par_stw 0)
+    end)
+    ()
+
+module ParStwB = Workloads.Bench_suite.Make (ParStw)
+
+module ParStwNoRa =
+  Sim.Mp_sim.Int (struct
+      let config =
+        {
+          (Sim.Sim_config.with_gc
+             (Sim.Sim_config.sequent ~procs:16 ())
+             (Sim.Gc_model.Par_stw 0))
+          with
+          run_ahead = false;
+        }
+    end)
+    ()
+
+module ParStwNoRaB = Workloads.Bench_suite.Make (ParStwNoRa)
+
+module MinorPp =
+  Sim.Mp_sim.Int (struct
+      let config =
+        Sim.Sim_config.with_gc
+          (Sim.Sim_config.sequent ~procs:16 ())
+          Sim.Gc_model.Minor_pp
+    end)
+    ()
+
+module MinorPpB = Workloads.Bench_suite.Make (MinorPp)
+
+module MinorPpNoRa =
+  Sim.Mp_sim.Int (struct
+      let config =
+        {
+          (Sim.Sim_config.with_gc
+             (Sim.Sim_config.sequent ~procs:16 ())
+             Sim.Gc_model.Minor_pp)
+          with
+          run_ahead = false;
+        }
+    end)
+    ()
+
+module MinorPpNoRaB = Workloads.Bench_suite.Make (MinorPpNoRa)
+
+let gc_twin_benches = [ "mm"; "abisort"; "seq" ]
+
+let test_gc_par_stw_run_ahead_equivalence () =
+  List.iter
+    (fun (bench, procs) ->
+      let wf = ParStwB.run_named bench ~procs in
+      let mf = ParStw.Machine.makespan_cycles () in
+      let gf = ParStw.Machine.gc_collections () in
+      let pf = ParStw.Machine.gc_cycles () in
+      let bf = ParStw.Machine.bus_bytes () in
+      let ws = ParStwNoRaB.run_named bench ~procs in
+      let tag s = Printf.sprintf "par_stw %s@%d %s" bench procs s in
+      check (tag "witness") ws wf;
+      check (tag "makespan") (ParStwNoRa.Machine.makespan_cycles ()) mf;
+      check (tag "collections") (ParStwNoRa.Machine.gc_collections ()) gf;
+      check (tag "pause cycles") (ParStwNoRa.Machine.gc_cycles ()) pf;
+      check (tag "bus bytes") (ParStwNoRa.Machine.bus_bytes ()) bf)
+    (List.concat_map (fun b -> [ (b, 2); (b, 8) ]) gc_twin_benches)
+
+let test_gc_minor_pp_run_ahead_equivalence () =
+  List.iter
+    (fun (bench, procs) ->
+      let wf = MinorPpB.run_named bench ~procs in
+      let mf = MinorPp.Machine.makespan_cycles () in
+      let gf = MinorPp.Machine.gc_collections () in
+      let minf = MinorPp.Machine.gc_minor_collections () in
+      let pf = MinorPp.Machine.gc_cycles () in
+      let bf = MinorPp.Machine.bus_bytes () in
+      let ws = MinorPpNoRaB.run_named bench ~procs in
+      let tag s = Printf.sprintf "minor_pp %s@%d %s" bench procs s in
+      check (tag "witness") ws wf;
+      check (tag "makespan") (MinorPpNoRa.Machine.makespan_cycles ()) mf;
+      check (tag "collections") (MinorPpNoRa.Machine.gc_collections ()) gf;
+      check (tag "minors") (MinorPpNoRa.Machine.gc_minor_collections ()) minf;
+      check (tag "pause cycles") (MinorPpNoRa.Machine.gc_cycles ()) pf;
+      check (tag "bus bytes") (MinorPpNoRa.Machine.bus_bytes ()) bf)
+    (List.concat_map (fun b -> [ (b, 2); (b, 8) ]) gc_twin_benches)
+
+(* The headline exhibit at test scale: per-proc minor heaps strictly
+   shorten the mm 16-proc makespan versus the sequential stop-the-world
+   collector (its one big collection stalls all 16 procs). *)
+let test_gc_minor_pp_headroom () =
+  ignore (GStwB.run_named "mm" ~procs:16);
+  let stw = GStw.Machine.makespan_cycles () in
+  ignore (MinorPpB.run_named "mm" ~procs:16);
+  let mpp = MinorPp.Machine.makespan_cycles () in
+  checkb
+    (Printf.sprintf "minor_pp mm@16 makespan %d < stw %d" mpp stw)
+    true (mpp < stw);
+  checkb "minor_pp ran proc-local minors" true
+    (MinorPp.Machine.gc_minor_collections () > 0)
+
+(* Drive a fresh per-proc minor-heap model instance the way the simulator
+   does (fast path when admitted, slow path otherwise; a stop-the-world
+   major whenever one is pending) and cross-check every step against an
+   independent mirror of its accounting rules. *)
+let prop_minor_pp_invariants =
+  QCheck.Test.make ~name:"minor_pp: conservation, bounds, major trigger"
+    ~count:100
+    QCheck.(
+      pair (int_range 1 8)
+        (list_of_size
+           Gen.(int_range 1 300)
+           (pair (int_range 0 63) (int_range 1 32))))
+    (fun (procs, ops) ->
+      let region = 192 in
+      let survival = 0.5 in
+      let module M =
+        (val Sim.Gc_model.instance Sim.Gc_model.Minor_pp
+               {
+                 Sim.Gc_model.procs;
+                 region_words = region;
+                 survival;
+                 cycles_per_word = 2.0;
+                 fixed_cycles = 100;
+                 parallelism = 1.0;
+                 minor_fixed_cycles = 10;
+                 barrier_cycles = 5;
+               })
+      in
+      let minor_region = max 1 (region / procs) in
+      let used = Array.make procs 0 in
+      let promoted = ref 0 in
+      let minors = ref 0 in
+      let majors = ref 0 in
+      let allocated = ref 0 in
+      let collected = ref 0 in
+      let last_pauses = ref 0 in
+      let ok = ref true in
+      let expect b = if not b then ok := false in
+      List.iter
+        (fun (r, words) ->
+          let proc = r mod procs in
+          allocated := !allocated + words;
+          (* r >= 32 forces the suspend path even for an admissible slice,
+             like a failed inline bus charge does in the simulator *)
+          if M.admit ~proc ~words && r < 32 then begin
+            M.commit_fast ~proc ~words;
+            used.(proc) <- used.(proc) + words
+          end
+          else begin
+            let pause, got = M.alloc_slow ~proc ~words in
+            used.(proc) <- used.(proc) + words;
+            if used.(proc) >= minor_region then begin
+              (* the slice filled the proc's minor region: an independent
+                 minor must have collected exactly that region *)
+              expect (got = used.(proc));
+              expect (pause > 0);
+              incr minors;
+              collected := !collected + got;
+              promoted :=
+                !promoted
+                + int_of_float (survival *. float_of_int used.(proc));
+              used.(proc) <- 0
+            end
+            else begin
+              expect (pause = 0);
+              expect (got = 0)
+            end
+          end;
+          (* model/mirror agreement after every op *)
+          expect (M.minor_collections () = !minors);
+          expect (M.region_used () = !promoted);
+          expect (!M.pending = (!promoted >= region));
+          (* pause accounting is monotone *)
+          expect (M.pause_cycles () >= !last_pauses);
+          last_pauses := M.pause_cycles ();
+          (* conservation: every allocated word is either still in a minor
+             region or was scanned by a minor collection *)
+          expect (!allocated = !collected + Array.fold_left ( + ) 0 used);
+          (* a pending major runs at the next barrier, collects exactly the
+             promoted words, and clears the trigger *)
+          if !M.pending then begin
+            let e = M.episode ~waiters:procs in
+            expect (e.Sim.Gc_model.kind = Sim.Gc_model.Major);
+            expect (e.Sim.Gc_model.region_words = !promoted);
+            M.finish_episode e;
+            incr majors;
+            promoted := 0;
+            expect (M.region_used () = 0);
+            expect (not !M.pending);
+            expect (M.major_collections () = !majors)
+          end)
+        ops;
+      !ok)
+
 (* ---------------- hierarchical (NUMA) machines ---------------- *)
 
 (* A one-node Numa machine is arithmetically the flat bus: every sharer
@@ -885,6 +1124,18 @@ let () =
             test_sched_ws_beats_fifo;
           Alcotest.test_case "all policies correct" `Slow
             test_sched_all_policies_correct;
+        ] );
+      ( "gc-models",
+        [
+          Alcotest.test_case "explicit stw = golden" `Quick
+            test_gc_stw_identity;
+          Alcotest.test_case "par_stw run-ahead equivalent at 2 and 8" `Quick
+            test_gc_par_stw_run_ahead_equivalence;
+          Alcotest.test_case "minor_pp run-ahead equivalent at 2 and 8" `Quick
+            test_gc_minor_pp_run_ahead_equivalence;
+          Alcotest.test_case "minor_pp lifts mm@16" `Quick
+            test_gc_minor_pp_headroom;
+          qt prop_minor_pp_invariants;
         ] );
       ( "properties",
         [
