@@ -3,10 +3,14 @@
    Runs every scenario in the corpus under a wall-clock budget and prints a
    per-scenario table; exits nonzero if any scenario fails, if the
    self-test (the deliberately broken lock) is NOT caught, or if the
-   per-scenario schedule floor is not met.  Two shapes:
+   per-scenario schedule floor is not met.  Exploration is race-directed
+   (DPOR + sleep sets) by default and can fan out across host domains;
+   everything but the time columns is byte-identical for any --jobs.
+   Three shapes:
 
-     check_smoke.exe --bound 2 --seconds 120           # every-PR gate
-     check_smoke.exe --bound 3 --faults --mode both    # weekly deep run *)
+     check_smoke.exe --bound 3 --seconds 300 --jobs 2     # every-PR gate
+     check_smoke.exe --bound 3 --json                     # BENCH_check.json
+     check_smoke.exe --bound 4 --faults --mode both       # weekly deep run *)
 
 let bound = ref 2
 let mode = ref "dfs" (* dfs | random | both *)
@@ -16,8 +20,14 @@ let with_faults = ref false
 let seconds = ref 120.0
 let max_schedules = ref 20_000
 let max_steps = ref 20_000
+let dpor = ref true
+let jobs_opt = ref None
+let json = ref false
+let json_file = ref "BENCH_check.json"
 
-let usage = "check_smoke [--bound N] [--mode dfs|random|both] [--runs N] [--seed 0x...] [--faults] [--seconds S] [--max-schedules N]"
+let usage =
+  "check_smoke [--bound N] [--mode dfs|random|both] [--runs N] [--seed 0x...] \
+   [--faults] [--seconds S] [--max-schedules N] [--no-dpor] [--jobs N] [--json]"
 
 let spec =
   [
@@ -33,16 +43,46 @@ let spec =
       Arg.Set_int max_schedules,
       "DFS schedule cap per scenario (default 20000)" );
     ("--max-steps", Arg.Set_int max_steps, "per-run step budget (default 20000)");
+    ("--dpor", Arg.Set dpor, "race-directed exploration (default)");
+    ( "--no-dpor",
+      Arg.Clear dpor,
+      "plain CHESS DFS: expand every alternative at every decision" );
+    ( "--jobs",
+      Arg.Int (fun n -> jobs_opt := Some n),
+      "host domains for DPOR frontier waves (default $MP_REPRO_JOBS or 1)" );
+    ( "--json",
+      Arg.Set json,
+      "write BENCH_check.json (adds a plain-DFS comparison pass over the \
+       non-heavy corpus for the reduction factor)" );
+    ("--json-file", Arg.Set_string json_file, "JSON output path");
   ]
 
+(* The driver-domain instance: random mode, plain DFS, and scenario-name
+   resolution.  DPOR worker domains get their own generative instance
+   through [make_runner] below. *)
 module P = Mpcheck.Mp_check.Int (struct
   let max_procs = 2
 end) ()
 
 module S = Mpcheck.Scenarios.Make (P)
 
+type row = {
+  row_name : string;
+  row_kind : string;
+  row_schedules : int;
+  row_pruned : int;
+  row_truncated : int;
+  row_capped : bool;
+  row_dfs_schedules : int option; (* plain-DFS comparison pass (--json) *)
+  row_seconds : float;
+  row_ok : bool;
+}
+
+let rows : row list ref = ref []
+
 let () =
   Arg.parse spec (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) usage;
+  let jobs = Exec.Job_pool.resolve_jobs !jobs_opt in
   let faults =
     if !with_faults then
       {
@@ -54,31 +94,62 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   let deadline = t0 +. !seconds in
+  let stop () = Unix.gettimeofday () > deadline in
   let failures = ref 0 in
   let skipped = ref 0 in
-  Printf.printf "mp_check smoke: bound=%d mode=%s faults=%b budget=%.0fs\n%!"
-    !bound !mode !with_faults !seconds;
-  Printf.printf "%-22s %10s %9s %7s %s\n" "scenario" "schedules" "truncated"
-    "time" "result";
-  let run_scenario want_failure (name, body) =
-    if Unix.gettimeofday () > deadline then begin
+  Printf.printf
+    "mp_check smoke: bound=%d mode=%s faults=%b dpor=%b jobs=%d budget=%.0fs\n%!"
+    !bound !mode !with_faults !dpor jobs !seconds;
+  Printf.printf "%-24s %10s %9s %8s %7s %s\n" "scenario" "schedules"
+    "truncated" "pruned" "time" "result";
+  (* A fresh checker instance per worker domain: per-run object ids are a
+     pure function of functor-application order and the forced prefix, so
+     every domain's instance reproduces the driver's labels exactly. *)
+  let make_runner name () =
+    let module P2 = Mpcheck.Mp_check.Int (struct
+      let max_procs = 2
+    end) () in
+    let module S2 = Mpcheck.Scenarios.Make (P2) in
+    let body = List.assoc name (S2.all @ S2.heavy @ S2.broken) in
+    P2.Explore.runner ~faults ~max_steps:!max_steps body
+  in
+  let dpor_report name =
+    let r =
+      Mpcheck.Dpor.explore ~make_runner:(make_runner name) ~jobs ~bound:!bound
+        ~max_schedules:!max_schedules ~stop ()
+    in
+    {
+      Mpcheck.Mp_check.schedules = r.Mpcheck.Dpor.r_schedules;
+      truncated = r.Mpcheck.Dpor.r_truncated;
+      pruned = r.Mpcheck.Dpor.r_pruned;
+      capped = r.Mpcheck.Dpor.r_capped;
+      failure =
+        Option.map
+          (fun (error, schedule, trace) ->
+            { Mpcheck.Mp_check.error; schedule; seed = None; trace })
+          r.Mpcheck.Dpor.r_failure;
+    }
+  in
+  let run_scenario ~kind want_failure (name, body) =
+    if stop () then begin
       incr skipped;
-      Printf.printf "%-22s %10s %9s %7s skipped (budget exhausted)\n%!" name
-        "-" "-" "-"
+      Printf.printf "%-24s %10s %9s %8s %7s skipped (budget exhausted)\n%!"
+        name "-" "-" "-" "-"
     end
     else begin
       let s0 = Unix.gettimeofday () in
       let reports = ref [] in
       if !mode = "dfs" || !mode = "both" then
         reports :=
-          P.Explore.dfs ~bound:!bound ~max_schedules:!max_schedules
-            ~max_steps:!max_steps ~faults
-            ~stop:(fun () -> Unix.gettimeofday () > deadline)
-            body
+          (if !dpor then dpor_report name
+           else
+             P.Explore.dfs ~bound:!bound ~max_schedules:!max_schedules
+               ~max_steps:!max_steps ~faults ~stop body)
           :: !reports;
       if
         (!mode = "random" || !mode = "both")
-        && not (List.exists (fun r -> r.Mpcheck.Mp_check.failure <> None) !reports)
+        && not
+             (List.exists (fun r -> r.Mpcheck.Mp_check.failure <> None) !reports)
       then
         reports :=
           P.Explore.random ?seed:!seed ~runs:!runs ~max_steps:!max_steps
@@ -91,12 +162,13 @@ let () =
       let truncated =
         List.fold_left (fun n r -> n + r.Mpcheck.Mp_check.truncated) 0 !reports
       in
+      let pruned =
+        List.fold_left (fun n r -> n + r.Mpcheck.Mp_check.pruned) 0 !reports
+      in
       let failure =
         List.find_map (fun r -> r.Mpcheck.Mp_check.failure) !reports
       in
-      let capped =
-        List.exists (fun r -> r.Mpcheck.Mp_check.capped) !reports
-      in
+      let capped = List.exists (fun r -> r.Mpcheck.Mp_check.capped) !reports in
       let ok, verdict =
         match (failure, want_failure) with
         | None, false ->
@@ -105,25 +177,96 @@ let () =
         | None, true -> (false, "MISSED EXPECTED BUG")
         | Some _, false -> (false, "FAILED")
       in
-      Printf.printf "%-22s %10d %9d %6.2fs %s\n%!" name schedules truncated dt
-        verdict;
+      (* the plain-DFS comparison pass: same bound, same caps, so the
+         reduction factor in BENCH_check.json is like-for-like *)
+      let dfs_schedules =
+        if !json && !dpor && (!mode = "dfs" || !mode = "both") && kind <> "heavy"
+        then
+          let r =
+            P.Explore.dfs ~bound:!bound ~max_schedules:!max_schedules
+              ~max_steps:!max_steps ~faults ~stop body
+          in
+          Some r.Mpcheck.Mp_check.schedules
+        else None
+      in
+      Printf.printf "%-24s %10d %9d %8d %6.2fs %s\n%!" name schedules truncated
+        pruned dt verdict;
       (match failure with
       | Some f when not want_failure ->
           Format.printf "%a@." Mpcheck.Mp_check.pp_failure f
       | _ -> ());
+      rows :=
+        {
+          row_name = name;
+          row_kind = kind;
+          row_schedules = schedules;
+          row_pruned = pruned;
+          row_truncated = truncated;
+          row_capped = capped;
+          row_dfs_schedules = dfs_schedules;
+          row_seconds = dt;
+          row_ok = ok;
+        }
+        :: !rows;
       if not ok then incr failures
     end
   in
-  List.iter (run_scenario false) S.all;
+  List.iter (run_scenario ~kind:"corpus" false) S.all;
   (* heavy scenarios: schedule-capped so the gate stays fast *)
   List.iter
-    (fun (name, body) -> run_scenario false (name, body))
-    (List.map
-       (fun (n, b) -> (n, b))
-       (if !bound >= 2 then S.heavy else []));
+    (run_scenario ~kind:"heavy" false)
+    (if !bound >= 2 then S.heavy else []);
   (* self-test: the broken lock must be caught *)
-  List.iter (run_scenario true) S.broken;
+  List.iter (run_scenario ~kind:"broken" true) S.broken;
   let dt = Unix.gettimeofday () -. t0 in
   Printf.printf "total: %.1fs, %d failure(s), %d skipped\n%!" dt !failures
     !skipped;
+  if !json then begin
+    let oc = open_out !json_file in
+    let b = Buffer.create 4096 in
+    Buffer.add_string b "{\n";
+    Buffer.add_string b "  \"benchmark\": \"mp_check\",\n";
+    Printf.bprintf b "  \"bound\": %d,\n" !bound;
+    Printf.bprintf b "  \"mode\": %S,\n" !mode;
+    Printf.bprintf b "  \"dpor\": %b,\n" !dpor;
+    Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+    Printf.bprintf b "  \"faults\": %b,\n" !with_faults;
+    Buffer.add_string b "  \"counters\": {";
+    let counters =
+      Mpcheck.Check_intf.counters () @ Exec.Job_pool.counters ()
+    in
+    List.iteri
+      (fun i (k, v) ->
+        Printf.bprintf b "%s\n    %S: %d" (if i = 0 then "" else ",") k v)
+      counters;
+    Buffer.add_string b "\n  },\n";
+    Buffer.add_string b "  \"scenarios\": [";
+    List.iteri
+      (fun i r ->
+        Printf.bprintf b "%s\n    { \"name\": %S, \"kind\": %S"
+          (if i = 0 then "" else ",")
+          r.row_name r.row_kind;
+        Printf.bprintf b ", \"schedules\": %d, \"pruned\": %d" r.row_schedules
+          r.row_pruned;
+        Printf.bprintf b ", \"truncated\": %d, \"capped\": %b" r.row_truncated
+          r.row_capped;
+        (match r.row_dfs_schedules with
+        | Some n ->
+            Printf.bprintf b ", \"dfs_schedules\": %d, \"reduction\": %.2f" n
+              (if r.row_schedules > 0 then
+                 float_of_int n /. float_of_int r.row_schedules
+               else 0.0)
+        | None -> ());
+        Printf.bprintf b ", \"seconds\": %.4f, \"schedules_per_sec\": %.1f"
+          r.row_seconds
+          (if r.row_seconds > 0.0 then
+             float_of_int r.row_schedules /. r.row_seconds
+           else 0.0);
+        Printf.bprintf b ", \"ok\": %b }" r.row_ok)
+      (List.rev !rows);
+    Buffer.add_string b "\n  ]\n}\n";
+    output_string oc (Buffer.contents b);
+    close_out oc;
+    Printf.printf "wrote %s\n%!" !json_file
+  end;
   if !failures > 0 then exit 1

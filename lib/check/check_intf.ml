@@ -31,3 +31,63 @@ let no_faults =
     fail_acquire_at = None;
     fault_seed = Sched_seed.default;
   }
+
+(* ---- visible-operation descriptors --------------------------------- *)
+
+(** How a visible operation touches its object.  The vocabulary is what
+    dynamic partial order reduction needs and nothing more: two operations
+    commute (swapping their order cannot change any later observation)
+    unless they touch the same object and at least one writes it. *)
+type access =
+  | Read  (** observes the object, leaves it unchanged *)
+  | Write  (** replaces the object's state *)
+  | Rmw  (** read-modify-write (CAS, exchange, lock probe/claim) *)
+  | Yield
+      (** a spin pause / idle point: touches nothing shared — commutes
+          with everything, including other yields *)
+  | Global
+      (** conservatively ordered against every non-yield operation:
+          [Work.poll] (runs an arbitrary scenario hook and brackets
+          plain-ref mutation in scenario code), predicate blocks, proc
+          start.  The safety net that keeps DPOR sound for effects the
+          object vocabulary does not model. *)
+
+(** One visible operation: the trace label, the identity of the object it
+    touches (a lock word, an instrumented cell, the proc pool — ids from
+    the platform's [fresh_id] counters, replay-stable) and the access
+    kind. *)
+type opdesc = { label : string; obj : int; access : access }
+
+(* Sentinel object ids, disjoint from [fresh_id]'s non-negative range. *)
+let obj_global = -1
+let obj_procpool = -2
+let obj_local = -3
+
+let desc label obj access = { label; obj; access }
+
+(** [depends a b]: may the order of [a] and [b] (from different procs) be
+    observable?  The DPOR dependence relation — an over-approximation is
+    sound (explores more), an under-approximation is not. *)
+let depends a b =
+  match (a.access, b.access) with
+  | Yield, _ | _, Yield -> false
+  | Global, _ | _, Global -> true
+  | _ -> a.obj = b.obj && not (a.access = Read && b.access = Read)
+
+exception Sleep_blocked
+(** A run was aborted because every enabled choice was in the sleep set:
+    the schedule is a commuted permutation of one already explored.
+    Counted as a prune, never reported as a failure. *)
+
+(* ---- check.* telemetry --------------------------------------------- *)
+
+(* One process-wide registry shared by every checker instance (instances
+   are generative; the exploration counters are not).  All bumps happen on
+   the driver domain, so totals are deterministic for any --jobs. *)
+let counters_registry = Obs.Counters.create ()
+let c_schedules = Obs.Counters.counter counters_registry "check.schedules_explored"
+let c_prunes = Obs.Counters.counter counters_registry "check.sleepset_prunes"
+let c_frontier = Obs.Counters.counter counters_registry "check.frontier_peak"
+let c_replays = Obs.Counters.counter counters_registry "check.replays"
+
+let counters () = Obs.Counters.dump counters_registry

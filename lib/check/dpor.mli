@@ -1,0 +1,78 @@
+(** Dynamic partial order reduction and the parallel frontier driver.
+
+    The exploration platform ({!Mp_check}) records one {!step} per
+    decision; this module turns completed runs into the minimal set of
+    alternatives worth exploring (happens-before race reversals, with
+    sleep sets suppressing commuted duplicates) and drives the frontier
+    in fixed-size waves over {!Exec.Job_pool} so the result — counts,
+    counterexample, shrink — is byte-identical for any [--jobs].
+
+    The dependence relation lives in {!Check_intf.depends}; the platform
+    side of the contract (how ops are labelled with objects and access
+    kinds, how the in-run sleep set redirects and prunes) lives in
+    [Mp_check].  Combining DPOR with a preemption bound is an
+    under-approximation in theory (a sleeping proc may only reach some
+    bug within budget from the pruned branch); the bound-2
+    DPOR-vs-full-DFS equivalence suite in [test_check] is the empirical
+    guard. *)
+
+(** One recorded decision of a run. *)
+type step = {
+  s_proc : int;
+  s_label : string;
+  s_obj : int;
+  s_access : Check_intf.access;
+  s_choices : int array;
+  s_stutter : bool;
+  s_preempts_before : int;
+  s_prev : int;
+  s_prev_continuable : bool;
+  s_sleep : int;
+}
+
+type outcome =
+  | Ok_run
+  | Truncated_run
+  | Sleep_blocked_run
+  | Failed_run of exn
+
+type run_result = { outcome : outcome; steps : step array }
+
+(** Instance-independent execution handle; build one per domain with
+    [Mp_check.S.Explore.runner] so worker domains never share platform
+    state. *)
+type runner = {
+  nprocs : int;
+  run_prefix :
+    prefix:int array -> split:int -> alt:int -> sleep0:int -> run_result;
+  shrink : exn -> int list -> exn * int list * Obs.Event.t list;
+}
+
+type result = {
+  r_schedules : int;
+  r_pruned : int;
+  r_truncated : int;
+  r_capped : bool;
+  r_frontier_peak : int;
+  r_failure : (exn * int list * Obs.Event.t list) option;
+}
+
+val races : nprocs:int -> step array -> (int * int) list
+(** Dependent, happens-before-unordered pairs [(i, j)], [i < j], in a
+    deterministic order.  Exposed for the cross-check tests. *)
+
+val explore :
+  ?batch:int ->
+  make_runner:(unit -> runner) ->
+  jobs:int ->
+  bound:int ->
+  max_schedules:int ->
+  stop:(unit -> bool) ->
+  unit ->
+  result
+(** Race-directed exploration from the empty schedule.  [make_runner] is
+    called once per participating domain (through [Domain.DLS]); [batch]
+    (default 32) is the wave size and is deliberately independent of
+    [jobs] so the explored set never depends on host parallelism.
+    [stop] is polled between waves; with [jobs = 1] runs execute inline
+    on the calling domain. *)

@@ -21,6 +21,7 @@ type failure = {
 type report = {
   schedules : int;
   truncated : int;
+  pruned : int;
   capped : bool;
   failure : failure option;
 }
@@ -50,6 +51,9 @@ module type S = sig
       [Proc.nodes]/[Proc.node_of]) for node-aware scheduler scenarios;
       clamped to [1 .. max_procs].  Must be called outside [run]. *)
 
+  val line_sharers : Work.line -> int
+  (** Tracked sharer set of a cache line (bit n = node n holds it). *)
+
   module Explore : sig
     val dfs :
       ?bound:int ->
@@ -57,8 +61,15 @@ module type S = sig
       ?max_steps:int ->
       ?faults:Check_intf.faults ->
       ?stop:(unit -> bool) ->
+      ?dpor:bool ->
       (unit -> unit) ->
       report
+
+    val runner :
+      ?faults:Check_intf.faults ->
+      ?max_steps:int ->
+      (unit -> unit) ->
+      Dpor.runner
 
     val random :
       ?seed:int64 ->
@@ -91,8 +102,8 @@ struct
   type point_kind = K_plain | K_yield
 
   type Engine.action +=
-    | A_point of string * point_kind * unit Engine.cont
-    | A_block of string * wait * unit Engine.cont
+    | A_point of Check_intf.opdesc * point_kind * unit Engine.cont
+    | A_block of Check_intf.opdesc * wait * unit Engine.cont
 
   (* ---- per-run state ------------------------------------------------ *)
 
@@ -105,8 +116,10 @@ struct
     mutable wait : wait option;
     mutable datum : D.t;
     mutable yielded : bool;
-    mutable op : string;  (* label of the pending visible operation *)
+    mutable op : Check_intf.opdesc;  (* the pending visible operation *)
   }
+
+  let start_op = Check_intf.desc "start" Check_intf.obj_global Check_intf.Global
 
   let procs =
     Array.init n_procs (fun id ->
@@ -117,7 +130,7 @@ struct
           wait = None;
           datum = D.initial;
           yielded = false;
-          op = "start";
+          op = start_op;
         })
 
   let running = ref false
@@ -151,6 +164,10 @@ struct
     d_prev_continuable : bool;
     d_preempts_before : int;
     d_op : string;
+    d_obj : int;  (* object id + access kind of the executed op, for the
+                     DPOR dependence relation (see Check_intf.depends) *)
+    d_access : Check_intf.access;
+    d_sleep : int;  (* sleep set (bitmask) in force at this decision *)
     d_stutter : bool;
         (* every offered proc was parked at a spin-yield point: the choice
            only reorders spin iterations (stutter steps), so the DFS does
@@ -168,15 +185,46 @@ struct
   let current_faults = ref Check_intf.no_faults
   let current_max_steps = ref 10_000
 
-  (* fault-injection site counters (reset per run) *)
-  let n_try_lock = ref 0
-  let n_acquire = ref 0
+  (* Sleep-set configuration, installed around each run by the DPOR
+     driver: from decision [current_sleep_from] on, [sleep_now] holds the
+     procs whose scheduling here would only commute with an
+     already-explored trace.  The default policy is redirected away from
+     sleeping procs; if every enabled choice is asleep the run aborts
+     with [Check_intf.Sleep_blocked] (a prune, not a failure).  Executing
+     an op wakes every sleeper whose pending op depends on it. *)
+  let current_sleep_from = ref max_int
+  let current_sleep0 = ref 0
+  let sleep_now = ref 0
 
-  let pct_fault pct counter =
+  (* Fault-injection site counters (reset per run).  Probabilistic faults
+     are keyed on (proc, object, per-key occurrence), NOT on a global
+     site counter: the n-th probe of lock L by proc p draws the same
+     verdict wherever the scheduler places it, so DPOR-pruned runs and
+     shrink replays (which reorder unrelated ops) see identical fault
+     behaviour. *)
+  let n_acquire = ref 0
+  let fault_occ : (int * int, int ref) Hashtbl.t = Hashtbl.create 32
+
+  let pct_fault pct ~obj =
     pct > 0
     && begin
-         incr counter;
-         let h = Sched_seed.hash2 !current_faults.Check_intf.fault_seed !counter in
+         let key = (!cur, obj) in
+         let occ =
+           match Hashtbl.find_opt fault_occ key with
+           | Some r -> r
+           | None ->
+               let r = ref 0 in
+               Hashtbl.add fault_occ key r;
+               r
+         in
+         incr occ;
+         let h =
+           Sched_seed.hash2
+             (Sched_seed.hash2
+                (Sched_seed.hash2 !current_faults.Check_intf.fault_seed !cur)
+                obj)
+             !occ
+         in
          Int64.to_int (Int64.rem (Int64.shift_right_logical h 1) 100L) < pct
        end
 
@@ -237,7 +285,8 @@ struct
       register_reset (fun () -> l.held <- false);
       l
 
-    let lbl what l = Printf.sprintf "lock.%s L%d" what l.lid
+    let lbl what acc l =
+      Check_intf.desc (Printf.sprintf "lock.%s L%d" what l.lid) l.lid acc
 
     let try_lock l =
       if not !running then
@@ -247,12 +296,13 @@ struct
           true
         end
       else begin
-        sched_point ~op:(lbl "try" l) K_plain;
+        sched_point ~op:(lbl "try" Check_intf.Rmw l) K_plain;
         if l.held then begin
           incr spins;
           false
         end
-        else if pct_fault !current_faults.Check_intf.try_lock_fail_pct n_try_lock
+        else if
+          pct_fault !current_faults.Check_intf.try_lock_fail_pct ~obj:l.lid
         then begin
           incr spins;
           false
@@ -273,14 +323,14 @@ struct
         if l.held then failwith "Mp_check.Lock.lock: lock held outside run"
         else l.held <- true
       else begin
-        block_on ~op:(lbl "acquire" l) (W_lock l);
+        block_on ~op:(lbl "acquire" Check_intf.Rmw l) (W_lock l);
         if l.held then lock l else l.held <- true
       end
 
     let unlock l =
       if not !running then l.held <- false
       else begin
-        sched_point ~op:(lbl "release" l) K_plain;
+        sched_point ~op:(lbl "release" Check_intf.Write l) K_plain;
         l.held <- false
       end
 
@@ -299,7 +349,8 @@ struct
   module Cell = struct
     type 'a t = { cid : int; mutable v : 'a }
 
-    let lbl what c = Printf.sprintf "cell.%s c%d" what c.cid
+    let lbl what acc c =
+      Check_intf.desc (Printf.sprintf "cell.%s c%d" what c.cid) c.cid acc
 
     let make v0 =
       let c = { cid = fresh_id (); v = v0 } in
@@ -307,21 +358,21 @@ struct
       c
 
     let get c =
-      sched_point ~op:(lbl "get" c) K_plain;
+      sched_point ~op:(lbl "get" Check_intf.Read c) K_plain;
       c.v
 
     let set c x =
-      sched_point ~op:(lbl "set" c) K_plain;
+      sched_point ~op:(lbl "set" Check_intf.Write c) K_plain;
       c.v <- x
 
     let exchange c x =
-      sched_point ~op:(lbl "xchg" c) K_plain;
+      sched_point ~op:(lbl "xchg" Check_intf.Rmw c) K_plain;
       let old = c.v in
       c.v <- x;
       old
 
     let compare_and_set c expected x =
-      sched_point ~op:(lbl "cas" c) K_plain;
+      sched_point ~op:(lbl "cas" Check_intf.Rmw c) K_plain;
       if c.v == expected then begin
         c.v <- x;
         true
@@ -329,7 +380,7 @@ struct
       else false
 
     let fetch_and_add c n =
-      sched_point ~op:(lbl "faa" c) K_plain;
+      sched_point ~op:(lbl "faa" Check_intf.Rmw c) K_plain;
       let old = c.v in
       c.v <- old + n;
       old
@@ -344,12 +395,15 @@ struct
     let exchange = Cell.exchange
     let compare_and_set = Cell.compare_and_set
     let fetch_and_add = Cell.fetch_and_add
-    let pause () = sched_point ~op:"spin.pause" K_yield
+    let yield_op label =
+      Check_intf.desc label Check_intf.obj_local Check_intf.Yield
+
+    let pause () = sched_point ~op:(yield_op "spin.pause") K_yield
 
     let pause_n _n =
-      sched_point ~op:"spin.backoff" K_yield;
+      sched_point ~op:(yield_op "spin.backoff") K_yield;
       for _ = 1 to !current_faults.Check_intf.backoff_boost do
-        sched_point ~op:"spin.backoff+" K_yield
+        sched_point ~op:(yield_op "spin.backoff+") K_yield
       done
 
     let on_spin () = incr spins
@@ -394,7 +448,11 @@ struct
       if n <= 1 then 0 else p / ((n_procs + n - 1) / n)
 
     let acquire_proc (PS (k, d)) =
-      sched_point ~op:"proc.acquire" K_plain;
+      sched_point
+        ~op:
+          (Check_intf.desc "proc.acquire" Check_intf.obj_procpool
+             Check_intf.Rmw)
+        K_plain;
       incr n_acquire;
       (match !current_faults.Check_intf.fail_acquire_at with
       | Some n when n = !n_acquire -> raise No_More_Procs
@@ -409,11 +467,18 @@ struct
       p.pending <- Some (Engine.Resume (k, ()));
       p.wait <- None;
       p.yielded <- false;
-      p.op <- Printf.sprintf "proc.start p%d" p.id;
+      p.op <-
+        Check_intf.desc
+          (Printf.sprintf "proc.start p%d" p.id)
+          Check_intf.obj_global Check_intf.Global;
       p.datum <- d
 
     let release_proc () =
-      sched_point ~op:"proc.release" K_plain;
+      sched_point
+        ~op:
+          (Check_intf.desc "proc.release" Check_intf.obj_procpool
+             Check_intf.Rmw)
+        K_plain;
       Engine.suspend (fun _ -> Engine.Stop)
 
     let initial_datum = D.initial
@@ -440,17 +505,32 @@ struct
       ln.sharers <- 1 lsl Proc.node_of !cur
 
     let poll () =
-      sched_point ~op:"work.poll" K_plain;
+      sched_point
+        ~op:(Check_intf.desc "work.poll" Check_intf.obj_global Check_intf.Global)
+        K_plain;
       !hook ()
 
     let set_poll_hook f = hook := f
-    let idle () = sched_point ~op:"work.idle" K_yield
+
+    let idle () =
+      sched_point
+        ~op:(Check_intf.desc "work.idle" Check_intf.obj_local Check_intf.Yield)
+        K_yield
 
     let idle_until ~ready =
-      if not (ready ()) then block_on ~op:"work.idle_until" (W_pred ready)
+      if not (ready ()) then
+        block_on
+          ~op:
+            (Check_intf.desc "work.idle_until" Check_intf.obj_global
+               Check_intf.Global)
+          (W_pred ready)
 
     let now () = float_of_int !nsteps *. 0.001
   end
+
+  (* Scenario-side accessor for the tracked sharer set (Work.line is
+     abstract through PLATFORM): bit n set = node n holds the line. *)
+  let line_sharers (ln : Work.line) = ln.Work.sharers
 
   let spawn f =
     Proc.acquire_proc
@@ -556,7 +636,7 @@ struct
         p.wait <- None;
         p.datum <- D.initial;
         p.yielded <- false;
-        p.op <- "start")
+        p.op <- start_op)
       procs;
     List.iter (fun f -> f ()) !persistent_resets;
     run_ids := 1_000_000;
@@ -568,7 +648,8 @@ struct
     preempts := 0;
     last_chosen := -1;
     truncated := false;
-    n_try_lock := 0;
+    sleep_now := 0;
+    Hashtbl.reset fault_occ;
     n_acquire := 0
 
   let run f =
@@ -579,7 +660,8 @@ struct
     let p0 = procs.(0) in
     p0.state <- Ready;
     p0.pending <- Some (Engine.Start (fun () -> result := Some (f ())));
-    p0.op <- "root.start";
+    p0.op <-
+      Check_intf.desc "root.start" Check_intf.obj_global Check_intf.Global;
     Fun.protect
       ~finally:(fun () -> running := false)
       (fun () ->
@@ -618,29 +700,77 @@ struct
                 if Array.exists (fun i -> i = chosen) choices then chosen
                 else default
               in
-              let prev = !last_chosen in
-              let prev_continuable =
-                prev >= 0 && procs.(prev).state = Ready
-                && not procs.(prev).yielded
+              (* Sleep-set engagement (DPOR): from [current_sleep_from]
+                 on, the default region may not schedule a sleeping proc
+                 — running one reproduces a commuted permutation of an
+                 already-explored trace.  Redirect to an awake choice; if
+                 all are asleep the whole run is such a permutation, so
+                 abort it as a prune.  The forced region (prefix + alt)
+                 is exempt: the driver never forces a sleeping proc. *)
+              if !nsteps = !current_sleep_from then
+                sleep_now := !current_sleep0;
+              let engaged = !nsteps >= !current_sleep_from in
+              let chosen, sleep_blocked =
+                if
+                  engaged
+                  && !nsteps > !current_sleep_from
+                  && !sleep_now land (1 lsl chosen) <> 0
+                then begin
+                  let awake =
+                    Array.of_seq
+                      (Seq.filter
+                         (fun i -> !sleep_now land (1 lsl i) = 0)
+                         (Array.to_seq choices))
+                  in
+                  if Array.length awake = 0 then (chosen, true)
+                  else (default_choice awake, false)
+                end
+                else (chosen, false)
               in
-              decisions_rev :=
-                {
-                  d_choices = choices;
-                  d_chosen = chosen;
-                  d_prev = prev;
-                  d_prev_continuable = prev_continuable;
-                  d_preempts_before = !preempts;
-                  d_op = procs.(chosen).op;
-                  d_stutter =
-                    Array.for_all (fun i -> procs.(i).yielded) choices;
-                }
-                :: !decisions_rev;
-              if prev_continuable && chosen <> prev then incr preempts;
-              last_chosen := chosen;
-              incr nsteps;
-              (try exec_slice procs.(chosen)
-               with e -> if !failed = None then failed := Some e);
-              loop ()
+              if sleep_blocked then begin
+                failed := Some Check_intf.Sleep_blocked;
+                loop ()
+              end
+              else begin
+                let prev = !last_chosen in
+                let prev_continuable =
+                  prev >= 0 && procs.(prev).state = Ready
+                  && not procs.(prev).yielded
+                in
+                let od = procs.(chosen).op in
+                decisions_rev :=
+                  {
+                    d_choices = choices;
+                    d_chosen = chosen;
+                    d_prev = prev;
+                    d_prev_continuable = prev_continuable;
+                    d_preempts_before = !preempts;
+                    d_op = od.Check_intf.label;
+                    d_obj = od.Check_intf.obj;
+                    d_access = od.Check_intf.access;
+                    d_sleep = (if engaged then !sleep_now else 0);
+                    d_stutter =
+                      Array.for_all (fun i -> procs.(i).yielded) choices;
+                  }
+                  :: !decisions_rev;
+                if prev_continuable && chosen <> prev then incr preempts;
+                last_chosen := chosen;
+                incr nsteps;
+                (try exec_slice procs.(chosen)
+                 with e -> if !failed = None then failed := Some e);
+                (* wake sleepers whose pending op depends on what just
+                   ran: their next transition no longer commutes with
+                   the trace, so scheduling them is a fresh schedule *)
+                if engaged && !sleep_now <> 0 then
+                  for q = 0 to n_procs - 1 do
+                    if
+                      !sleep_now land (1 lsl q) <> 0
+                      && procs.(q).state <> Free
+                      && Check_intf.depends od procs.(q).op
+                    then sleep_now := !sleep_now land lnot (1 lsl q)
+                  done;
+                loop ()
+              end
             end
           end
         in
@@ -670,14 +800,18 @@ struct
       if step < Array.length forced then forced.(step) else default
 
     (* [body] is a scenario thunk that itself calls [run] exactly once. *)
-    let run_one ~policy ~faults ~max_steps body =
+    let run_one ~policy ?(sleep_from = max_int) ?(sleep0 = 0) ~faults
+        ~max_steps body =
       decisions_rev := [];
       truncated := false;
       current_policy := policy;
       current_faults := faults;
       current_max_steps := max_steps;
+      current_sleep_from := sleep_from;
+      current_sleep0 := sleep0;
       let err = (try body (); None with e -> Some e) in
       current_policy := default_only;
+      current_sleep_from := max_int;
       (err, decisions (), !truncated)
 
     let schedule_of ds = Array.to_list (Array.map (fun d -> d.d_chosen) ds)
@@ -702,6 +836,7 @@ struct
         !attempts < budget
         && begin
              incr attempts;
+             Obs.Counters.incr Check_intf.c_replays;
              let err, ds, _ =
                run_one
                  ~policy:(forced_policy (Array.of_list sched))
@@ -741,6 +876,7 @@ struct
         done
       end;
       (* canonical replay of the minimum for its error and trace *)
+      Obs.Counters.incr Check_intf.c_replays;
       let err, ds, _ =
         run_one
           ~policy:(forced_policy (Array.of_list !current))
@@ -753,19 +889,79 @@ struct
           | None -> (error0, !current, trace_of ds))
       | Some e -> (e, !current, trace_of ds)
 
+    (* Frontier items share the parent run's decision array instead of
+       materializing a prefix list each: (base, split, alt) forces
+       base.(0..split-1) then alt then the default policy.  Keeps the
+       frontier O(1) words per pending schedule — the frontier for a
+       branchy scenario holds hundreds of thousands of items. *)
+    let policy_of base split alt : policy =
+     fun ~step ~choices:_ ~default ->
+      if step < split then base.(step)
+      else if step = split && alt >= 0 then alt
+      else default
+
+    let steps_of ds =
+      Array.map
+        (fun d ->
+          {
+            Dpor.s_proc = d.d_chosen;
+            s_label = d.d_op;
+            s_obj = d.d_obj;
+            s_access = d.d_access;
+            s_choices = d.d_choices;
+            s_stutter = d.d_stutter;
+            s_preempts_before = d.d_preempts_before;
+            s_prev = d.d_prev;
+            s_prev_continuable = d.d_prev_continuable;
+            s_sleep = d.d_sleep;
+          })
+        ds
+
+    (* The instance-independent handle the DPOR driver works through:
+       worker domains each build one over their own generative instance,
+       so forced runs never share platform state across domains. *)
+    let runner ?(faults = Check_intf.no_faults) ?(max_steps = 10_000) body =
+      {
+        Dpor.nprocs = n_procs;
+        run_prefix =
+          (fun ~prefix ~split ~alt ~sleep0 ->
+            let err, ds, _ =
+              run_one
+                ~policy:(policy_of prefix split alt)
+                ~sleep_from:split ~sleep0 ~faults ~max_steps body
+            in
+            let outcome =
+              match err with
+              | None -> Dpor.Ok_run
+              | Some Truncated -> Dpor.Truncated_run
+              | Some Check_intf.Sleep_blocked -> Dpor.Sleep_blocked_run
+              | Some e -> Dpor.Failed_run e
+            in
+            { Dpor.outcome; steps = steps_of ds });
+        shrink = (fun e sched -> shrink ~faults ~max_steps body e sched);
+      }
+
     let dfs ?(bound = 2) ?(max_schedules = 20_000) ?(max_steps = 10_000)
-        ?(faults = Check_intf.no_faults) ?(stop = fun () -> false) body =
-      (* Frontier items share the parent run's decision array instead of
-         materializing a prefix list each: (base, split, alt) forces
-         base.(0..split-1) then alt then the default policy.  Keeps the
-         frontier O(1) words per pending schedule — the frontier for a
-         branchy scenario holds hundreds of thousands of items. *)
-      let policy_of base split alt : policy =
-       fun ~step ~choices:_ ~default ->
-        if step < split then base.(step)
-        else if step = split && alt >= 0 then alt
-        else default
-      in
+        ?(faults = Check_intf.no_faults) ?(stop = fun () -> false)
+        ?(dpor = false) body =
+      if dpor then
+        let r =
+          Dpor.explore
+            ~make_runner:(fun () -> runner ~faults ~max_steps body)
+            ~jobs:1 ~bound ~max_schedules ~stop ()
+        in
+        {
+          schedules = r.Dpor.r_schedules;
+          truncated = r.Dpor.r_truncated;
+          pruned = r.Dpor.r_pruned;
+          capped = r.Dpor.r_capped;
+          failure =
+            Option.map
+              (fun (error, schedule, trace) ->
+                { error; schedule; seed = None; trace })
+              r.Dpor.r_failure;
+        }
+      else begin
       let stack = ref [ ([||], 0, -1) ] in
       let schedules = ref 0 in
       let truncs = ref 0 in
@@ -782,6 +978,7 @@ struct
             end
             else begin
               incr schedules;
+              Obs.Counters.incr Check_intf.c_schedules;
               let forced_len = if alt < 0 then 0 else split + 1 in
               let err, ds, _ =
                 run_one ~policy:(policy_of base split alt) ~faults ~max_steps
@@ -822,9 +1019,11 @@ struct
       {
         schedules = !schedules;
         truncated = !truncs;
+        pruned = 0;
         capped = !capped;
         failure = !failure;
       }
+      end
 
     let random ?seed ?(runs = 500) ?(max_steps = 10_000)
         ?(faults = Check_intf.no_faults) body =
@@ -846,6 +1045,7 @@ struct
              choices.(Sched_seed.bounded state (Array.length choices))
            in
            incr n;
+           Obs.Counters.incr Check_intf.c_schedules;
            let err, ds, _ = run_one ~policy ~faults ~max_steps body in
            match err with
            | None -> ()
@@ -868,12 +1068,14 @@ struct
       {
         schedules = !n;
         truncated = !truncs;
+        pruned = 0;
         capped = false;
         failure = !failure;
       }
 
     let replay ~schedule ?(max_steps = 10_000) ?(faults = Check_intf.no_faults)
         body =
+      Obs.Counters.incr Check_intf.c_replays;
       let err, ds, _ =
         run_one
           ~policy:(forced_policy (Array.of_list schedule))

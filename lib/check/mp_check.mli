@@ -38,6 +38,9 @@ type failure = {
 type report = {
   schedules : int;  (** runs performed *)
   truncated : int;  (** runs abandoned at the step budget *)
+  pruned : int;
+      (** runs abandoned sleep-blocked (DPOR only: commuted duplicates of
+          already-explored traces); 0 for plain DFS and random mode *)
   capped : bool;  (** DFS stopped at [max_schedules] with work remaining *)
   failure : failure option;  (** first failure found, shrunk *)
 }
@@ -71,6 +74,11 @@ module type S = sig
       explored; clamped to [1 .. max_procs], default 1 (flat).  Constant
       during a run — call it outside [run], typically at scenario start. *)
 
+  val line_sharers : Work.line -> int
+  (** The tracked sharer set of a cache line (bit [n] set = node [n]
+      holds the line), for scenarios checking the claim/invalidate
+      discipline. *)
+
   module Explore : sig
     val dfs :
       ?bound:int ->
@@ -78,6 +86,7 @@ module type S = sig
       ?max_steps:int ->
       ?faults:Check_intf.faults ->
       ?stop:(unit -> bool) ->
+      ?dpor:bool ->
       (unit -> unit) ->
       report
     (** Exhaustive DFS over schedules with at most [bound] preemptions
@@ -91,7 +100,23 @@ module type S = sig
         Exploration stops at the first failure, which is shrunk.  [stop]
         is polled between schedules; returning [true] abandons the rest of
         the space and marks the report [capped] (wall-clock budgets live in
-        the caller so the library stays deterministic by default). *)
+        the caller so the library stays deterministic by default).
+
+        With [~dpor:true] exploration is race-directed ({!Dpor}): instead
+        of expanding every alternative at every decision, only reversals
+        of happens-before races are queued, sleep sets prune commuted
+        duplicates, and the report's [pruned] counts runs abandoned as
+        such.  Same failure semantics, same shrink, usually orders of
+        magnitude fewer schedules. *)
+
+    val runner :
+      ?faults:Check_intf.faults ->
+      ?max_steps:int ->
+      (unit -> unit) ->
+      Dpor.runner
+    (** The instance-independent execution handle for {!Dpor.explore}:
+        build one per host domain (over a fresh generative instance each)
+        to fan exploration out with deterministic, index-merged results. *)
 
     val random :
       ?seed:int64 ->

@@ -81,6 +81,37 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
         check (L.try_lock l) "lock still held after both sections";
         L.unlock l)
 
+  (* Two procs working under DIFFERENT locks: the race-directed
+     exploration showcase.  Every cross-proc pair of lock operations
+     touches a different object, so DPOR collapses the full interleaving
+     product — which plain DFS pays in full at bound 3 — down to the
+     handful of schedules the proc-pool handoff actually orders.  The
+     counters keep the independence honest: each lock still guards real
+     work, and a lost update would be caught on any schedule. *)
+  let disjoint_scenario (module L : Mp.Mp_intf.LOCK) () =
+    C.run (fun () ->
+        let la = L.mutex_lock () in
+        let lb = L.mutex_lock () in
+        let ca = ref 0 in
+        let cb = ref 0 in
+        let work l c =
+          for _ = 1 to 3 do
+            L.lock l;
+            incr c;
+            L.unlock l
+          done
+        in
+        C.spawn (fun () -> work lb cb);
+        work la ca;
+        join ();
+        check
+          (!ca = 3 && !cb = 3)
+          "disjoint locks: counters %d/%d, expected 3/3" !ca !cb;
+        check (L.try_lock la) "disjoint locks: lock A left held";
+        check (L.try_lock lb) "disjoint locks: lock B left held";
+        L.unlock la;
+        L.unlock lb)
+
   let rw_scenario () =
     C.run (fun () ->
         let l = T_rw.create () in
@@ -209,6 +240,52 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
         | None -> ());
         check (!taken = 3) "micropools: %d of 3 items consumed" !taken;
         check (S.total_length q = 0) "micropools: queue not drained")
+
+  (* The spmc steal-half path through the [ws] policy itself (the policy's
+     ready queues are the spmc queues; a thief's take steals half the
+     victim's batch and keeps the remainder locally).  The owner pushes in
+     two bursts around a poll so a steal can land mid-stream; whatever the
+     interleaving — steal-half wins, owner pops first, or the batch splits
+     across both — every element must come out exactly once. *)
+  let ws_steal_half_scenario () =
+    C.run (fun () ->
+        let module Pol = Mpthreads.Sched_policy.Make (C) in
+        let (module S) = Pol.instance Mpthreads.Sched_policy.Ws in
+        let q = S.create ~procs:2 in
+        S.prepare q ~procs:2;
+        let got = ref [] in
+        let consume ~proc =
+          match S.take q ~proc with
+          | Some v -> got := v :: !got
+          | None -> ()
+        in
+        C.spawn (fun () ->
+            S.push_local q ~proc:1 10;
+            S.push_local q ~proc:1 11;
+            C.Work.poll ();
+            S.push_local q ~proc:1 12;
+            S.push_local q ~proc:1 13;
+            consume ~proc:1);
+        C.Work.poll ();
+        (* thief: an empty local queue forces the steal-half sweep *)
+        consume ~proc:0;
+        consume ~proc:0;
+        join ();
+        let rec drain budget =
+          if budget > 0 then
+            match S.take q ~proc:0 with
+            | Some v ->
+                got := v :: !got;
+                drain (budget - 1)
+            | None -> if S.looks_nonempty q ~proc:0 then drain (budget - 1)
+        in
+        drain 16;
+        check
+          (List.sort compare !got = [ 10; 11; 12; 13 ])
+          "ws steal-half: lost, duplicated or invented an element";
+        check
+          (not (S.looks_nonempty q ~proc:0))
+          "ws steal-half: emptiness hint stuck nonempty after the drain")
 
   let multi_queue_scenario () =
     C.run (fun () ->
@@ -364,6 +441,47 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
             check
               (not (S.looks_nonempty q ~proc:0))
               "numa ws: emptiness hint stuck nonempty on a drained queue"))
+
+  (* Sharer-set discipline with a REMOTE reader, checked directly on
+     [line_sharers] under every interleaving: after a read the reader's
+     node holds the line; a write invalidates every remote copy, leaving
+     exactly the writer's node; and the set never names a node outside
+     the topology.  The checks piggyback on the atomic tail of each line
+     operation's slice, so they observe the line state the operation
+     itself produced, not a later proc's. *)
+  let numa_remote_sharers_scenario =
+    with_nodes 2 (fun () ->
+        C.run (fun () ->
+            let ln = C.Work.line () in
+            let bad = ref None in
+            let expect cond what =
+              if (not cond) && !bad = None then bad := Some what
+            in
+            let my_bit () = 1 lsl C.Proc.node_of (C.Proc.self ()) in
+            let reader () =
+              C.Work.read_line ln;
+              let s = C.line_sharers ln in
+              expect (s land my_bit () <> 0) "reader's node not a sharer";
+              expect (s land lnot 3 = 0) "sharer outside the 2-node topology"
+            in
+            C.spawn (fun () ->
+                reader ();
+                C.Work.poll ();
+                C.Work.write_line ln ~bytes:8;
+                expect
+                  (C.line_sharers ln = my_bit ())
+                  "write left a remote sharer valid");
+            reader ();
+            C.Work.poll ();
+            reader ();
+            join ();
+            (match !bad with
+            | Some what -> fail "numa sharers: %s" what
+            | None -> ());
+            check (C.Proc.nodes () = 2) "numa sharers: topology not in effect";
+            let s = C.line_sharers ln in
+            check (s <> 0) "numa sharers: line ended with no holder";
+            check (s land lnot 3 = 0) "numa sharers: final set out of range"))
 
   (* ---- a minimal scheduler for the thread-level packages -------------- *)
 
@@ -604,6 +722,78 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
           !collected
           (used.(0) + used.(1)))
 
+  (* The major-trigger race on the per-proc collector: a promotion from
+     one proc's independent minor collection can raise [pending] while
+     the other proc sits between its unlocked observation of the trigger
+     and its locked double-check.  Exactly one major may run per trigger
+     — the race loser must find the trigger already cleared — and a lost
+     race must never re-collect the freshly reset region (a double major
+     would surface as a zero-word episode). *)
+  let gc_major_race_scenario () =
+    C.run (fun () ->
+        let region = 8 in
+        let module M =
+          (val Sim.Gc_model.instance Sim.Gc_model.Minor_pp
+                 {
+                   Sim.Gc_model.procs = 2;
+                   region_words = region;
+                   survival = 1.0;
+                   cycles_per_word = 1.0;
+                   fixed_cycles = 1;
+                   parallelism = 1.0;
+                   minor_fixed_cycles = 1;
+                   barrier_cycles = 1;
+                 })
+        in
+        let l = C.Lock.mutex_lock () in
+        let majors = ref 0 in
+        let alloc proc words =
+          C.Lock.lock l;
+          (if M.admit ~proc ~words then M.commit_fast ~proc ~words
+           else ignore (M.alloc_slow ~proc ~words));
+          C.Lock.unlock l;
+          (* unlocked observation of the trigger ... *)
+          if !M.pending then begin
+            C.Work.poll ();
+            (* ... the other proc can slip in here ... *)
+            C.Lock.lock l;
+            (* ... so re-check under the lock before collecting *)
+            if !M.pending then begin
+              let e = M.episode ~waiters:2 in
+              check
+                (e.Sim.Gc_model.kind = Sim.Gc_model.Major)
+                "gc race: pending episode not a major";
+              check
+                (e.Sim.Gc_model.region_words > 0)
+                "gc race: major collected an already-reset region";
+              M.finish_episode e;
+              incr majors
+            end;
+            C.Lock.unlock l
+          end
+        in
+        C.spawn (fun () -> List.iter (alloc 1) [ 2; 2; 2; 2 ]);
+        List.iter (alloc 0) [ 2; 2; 2; 2 ];
+        join ();
+        (* drain a trailing trigger so the final accounting is exact *)
+        if !M.pending then begin
+          let e = M.episode ~waiters:1 in
+          M.finish_episode e;
+          incr majors
+        end;
+        check
+          (M.major_collections () = !majors)
+          "gc race: %d majors ran, model counted %d" !majors
+          (M.major_collections ());
+        check (not !M.pending) "gc race: trigger left pending after the drain";
+        (* a late major may collect more than one trigger-worth and a last
+           minor may promote a sub-trigger residue, but a full trigger's
+           worth must never survive uncollected *)
+        check
+          (M.region_used () < region)
+          "gc race: %d promoted words left, trigger is %d" (M.region_used ())
+          region)
+
   (* ---- the full thread package (heavy) -------------------------------- *)
 
   let threads_scenario ?sched () =
@@ -625,9 +815,13 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("lock_mcs", mutex_scenario (module T_mcs));
       ("lock_hwpool", mutex_scenario (module T_hwpool));
       ("lock_rw_spin", rw_scenario);
+      ("lock_tas_disjoint", disjoint_scenario (module T_tas));
+      ("lock_ticket_disjoint", disjoint_scenario (module T_ticket));
+      ("lock_mcs_disjoint", disjoint_scenario (module T_mcs));
       ("queue_ws_deque", ws_deque_scenario);
       ("queue_spmc", spmc_queue_scenario);
       ("sched_micropool_affinity", micropool_affinity_scenario);
+      ("sched_ws_steal_half", ws_steal_half_scenario);
       ("queue_multi", multi_queue_scenario);
       ("queue_bounded", bounded_queue_scenario);
       ("sync_ivar", sync_ivar_scenario);
@@ -639,7 +833,9 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("proc_pool", proc_pool_scenario);
       ("numa_lock_invalidation", numa_lock_invalidation_scenario);
       ("numa_ws_steal", numa_ws_steal_scenario);
+      ("numa_remote_sharers", numa_remote_sharers_scenario);
       ("gc_minor_pp", gc_minor_pp_scenario);
+      ("gc_minor_pp_major_race", gc_major_race_scenario);
     ]
 
   (* One pool scenario per scheduler policy: the whole family must survive

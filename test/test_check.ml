@@ -172,6 +172,204 @@ let test_fault_try_lock () =
   checkb "try_lock succeeds when no fault is injected" true
     (r2.Mpcheck.Mp_check.failure <> None)
 
+(* ---- fault determinism under reordering -------------------------------- *)
+
+(* Probabilistic fault decisions are keyed on (proc, object, occurrence),
+   not on the global step count, so the SAME acquisitions fail whatever
+   the interleaving: plain DFS, DPOR and the shrunk replay must all see
+   one identical failure. *)
+let test_fault_shrink_replay () =
+  let faults = { Mpcheck.Check_intf.no_faults with try_lock_fail_pct = 50 } in
+  let body () =
+    P.run (fun () ->
+        let la = P.Lock.mutex_lock () in
+        let lb = P.Lock.mutex_lock () in
+        let hits = ref 0 in
+        let attempts l =
+          for _ = 1 to 4 do
+            if P.Lock.try_lock l then begin
+              incr hits;
+              P.Lock.unlock l
+            end
+          done
+        in
+        P.spawn (fun () -> attempts lb);
+        attempts la;
+        P.Work.idle_until ~ready:(fun () -> P.Proc.live_procs () = 1);
+        if !hits < 8 then
+          Printf.ksprintf failwith "faults ate %d of 8 acquisitions" (8 - !hits))
+  in
+  let msg r =
+    match r.Mpcheck.Mp_check.failure with
+    | Some f -> Printexc.to_string f.Mpcheck.Mp_check.error
+    | None -> Alcotest.fail "50% try_lock faults did not surface a failure"
+  in
+  let plain = P.Explore.dfs ~bound:2 ~max_schedules:30_000 ~faults body in
+  let dpor =
+    P.Explore.dfs ~bound:2 ~max_schedules:30_000 ~faults ~dpor:true body
+  in
+  check Alcotest.string "plain and DPOR see the same fault outcome"
+    (msg plain) (msg dpor);
+  let f =
+    match plain.Mpcheck.Mp_check.failure with Some f -> f | None -> assert false
+  in
+  let replay () =
+    match
+      P.Explore.replay ~schedule:f.Mpcheck.Mp_check.schedule ~faults body
+    with
+    | Some f -> render_failure f
+    | None -> Alcotest.fail "shrunk schedule did not replay under faults"
+  in
+  let a = replay () and b = replay () in
+  check Alcotest.string "fault replay renders identically" a b;
+  checkb "replay reproduces the shrunk failure" true
+    (a = render_failure f)
+
+(* ---- DPOR: race-directed exploration ----------------------------------- *)
+
+let dfs_plain ?faults body =
+  P.Explore.dfs ~bound:2 ~max_schedules:30_000 ?faults body
+
+let dfs_dpor ?faults body =
+  P.Explore.dfs ~bound:2 ~max_schedules:30_000 ?faults ~dpor:true body
+
+(* The empirical guard for combining DPOR with a preemption bound (see
+   dpor.mli): over the whole corpus, race-directed exploration finds a
+   bug exactly when plain bounded DFS does. *)
+let test_dpor_equivalence () =
+  List.iter
+    (fun (name, body) ->
+      let a = dfs_plain body in
+      let b = dfs_dpor body in
+      checkb
+        (name ^ ": DPOR finds a bug iff plain DFS does")
+        (a.Mpcheck.Mp_check.failure <> None)
+        (b.Mpcheck.Mp_check.failure <> None);
+      checkb (name ^ ": DPOR not capped") false b.Mpcheck.Mp_check.capped)
+    (S.all @ S.broken)
+
+(* Both explorers shrink the broken TAS to the SAME canonical
+   counterexample: the minimal forced schedule is a property of the bug,
+   not of the order the space was walked. *)
+let test_dpor_broken_counterexample () =
+  let f r =
+    match r.Mpcheck.Mp_check.failure with
+    | Some f -> render_failure f
+    | None -> Alcotest.fail "broken TAS not caught"
+  in
+  check Alcotest.string "identical rendered counterexample"
+    (f (dfs_plain broken_body))
+    (f (dfs_dpor broken_body))
+
+(* Parallel frontier exploration is deterministic: same schedule count,
+   same prunes, same rendered failure for any job count. *)
+let test_dpor_jobs_deterministic () =
+  let make_runner () =
+    let module P2 = Mpcheck.Mp_check.Int (struct
+      let max_procs = 2
+    end) () in
+    let module S2 = Mpcheck.Scenarios.Make (P2) in
+    P2.Explore.runner (List.assoc "broken_tas" S2.broken)
+  in
+  let explore jobs =
+    Mpcheck.Dpor.explore ~make_runner ~jobs ~bound:2 ~max_schedules:30_000
+      ~stop:(fun () -> false) ()
+  in
+  let render (r : Mpcheck.Dpor.result) =
+    match r.Mpcheck.Dpor.r_failure with
+    | None -> "none"
+    | Some (error, schedule, trace) ->
+        render_failure { Mpcheck.Mp_check.error; schedule; seed = None; trace }
+  in
+  let a = explore 1 in
+  let b = explore 2 in
+  checki "schedules equal" a.Mpcheck.Dpor.r_schedules
+    b.Mpcheck.Dpor.r_schedules;
+  checki "prunes equal" a.Mpcheck.Dpor.r_pruned b.Mpcheck.Dpor.r_pruned;
+  checki "truncated equal" a.Mpcheck.Dpor.r_truncated
+    b.Mpcheck.Dpor.r_truncated;
+  check Alcotest.string "failure renders identically" (render a) (render b)
+
+(* Random two-proc programs over shared cells, a lock and an
+   unprotected-critical-section probe, cross-checking the two explorers:
+   whatever the program, DPOR and plain DFS agree on whether a bug
+   exists.  Programs with a [Crit] on both procs (any of them outside
+   the lock) are buggy; everything else is race-free by construction. *)
+type rop =
+  | Get of int
+  | Set of int
+  | Faa of int
+  | Crit
+  | Poll
+  | Pause
+  | Locked of rop list
+
+let rec rop_to_string = function
+  | Get i -> Printf.sprintf "get c%d" i
+  | Set i -> Printf.sprintf "set c%d" i
+  | Faa i -> Printf.sprintf "faa c%d" i
+  | Crit -> "crit"
+  | Poll -> "poll"
+  | Pause -> "pause"
+  | Locked ops ->
+      "locked[" ^ String.concat "; " (List.map rop_to_string ops) ^ "]"
+
+let prog_to_string (p0, p1) =
+  Printf.sprintf "p0: %s | p1: %s"
+    (String.concat "; " (List.map rop_to_string p0))
+    (String.concat "; " (List.map rop_to_string p1))
+
+let gen_prog =
+  let open QCheck.Gen in
+  let leaf =
+    oneofl [ Get 0; Get 1; Set 0; Set 1; Faa 0; Faa 1; Crit; Poll; Pause ]
+  in
+  let op =
+    frequency
+      [
+        (5, leaf);
+        (2, map (fun l -> Locked l) (list_size (int_range 1 3) leaf));
+      ]
+  in
+  pair (list_size (int_range 1 4) op) (list_size (int_range 1 4) op)
+
+let prog_body (p0, p1) () =
+  P.run (fun () ->
+      let cells = [| P.Prims.make 0; P.Prims.make 0 |] in
+      let l = P.Lock.mutex_lock () in
+      let in_cs = ref 0 in
+      let overlap = ref false in
+      let rec exec = function
+        | Get i -> ignore (P.Prims.get cells.(i))
+        | Set i -> P.Prims.set cells.(i) 1
+        | Faa i -> ignore (P.Prims.fetch_and_add cells.(i) 1)
+        | Poll -> P.Work.poll ()
+        | Pause -> P.Prims.pause ()
+        | Crit ->
+            incr in_cs;
+            if !in_cs > 1 then overlap := true;
+            P.Work.poll ();
+            decr in_cs
+        | Locked ops ->
+            P.Lock.lock l;
+            List.iter exec ops;
+            P.Lock.unlock l
+      in
+      P.spawn (fun () -> List.iter exec p1);
+      List.iter exec p0;
+      P.Work.idle_until ~ready:(fun () -> P.Proc.live_procs () = 1);
+      if !overlap then failwith "unprotected critical sections overlapped")
+
+let qcheck_dpor_cross_check =
+  QCheck.Test.make ~count:60 ~name:"random programs: DPOR = plain DFS"
+    (QCheck.make ~print:prog_to_string gen_prog)
+    (fun prog ->
+      let body = prog_body prog in
+      let a = dfs_plain body in
+      let b = dfs_dpor body in
+      (a.Mpcheck.Mp_check.failure <> None)
+      = (b.Mpcheck.Mp_check.failure <> None))
+
 (* ---- a wider platform instance ---------------------------------------- *)
 
 module P3 = Mpcheck.Mp_check.Int (struct
@@ -226,6 +424,18 @@ let () =
             test_fault_acquire;
           Alcotest.test_case "try_lock_fail_pct=100 starves try_lock" `Quick
             test_fault_try_lock;
+          Alcotest.test_case "fault outcomes survive reordering and shrink"
+            `Quick test_fault_shrink_replay;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "corpus equivalence with plain DFS at bound 2"
+            `Slow test_dpor_equivalence;
+          Alcotest.test_case "broken TAS shrinks to the same counterexample"
+            `Quick test_dpor_broken_counterexample;
+          Alcotest.test_case "frontier exploration deterministic across jobs"
+            `Quick test_dpor_jobs_deterministic;
+          QCheck_alcotest.to_alcotest qcheck_dpor_cross_check;
         ] );
       ( "procs3",
         [
