@@ -744,6 +744,17 @@ let () =
   in
   print_sim_core sim_rows;
   if json then write_sim_json sim_rows last_counters "BENCH_sim.json";
+  (* E9: the open-loop server workload — latency-tail grid plus the
+     saturation ramp whose knee BENCH_server.json pins per scheduler. *)
+  let server_grid = Report.Server_bench.grid ~quick ~jobs () in
+  let server_ramp = Report.Server_bench.ramp ~quick ~jobs () in
+  Report.Server_bench.print_server fmt server_grid server_ramp;
+  if json then begin
+    let oc = open_out "BENCH_server.json" in
+    output_string oc (Report.Server_bench.to_json ~quick server_grid server_ramp);
+    close_out oc;
+    Format.fprintf fmt "@.wrote BENCH_server.json@."
+  end;
   run_micro ();
   Report.Experiments.print_lock_latency fmt;
   Report.Experiments.print_portability fmt;

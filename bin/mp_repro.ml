@@ -3,6 +3,7 @@
    mp_repro fig6 [--procs 1,4,16]    Figure 6 speedup sweep
    mp_repro idle | bus | gc | sgi    the other evaluation sections
    mp_repro gc_sweep                 fig6 once per GC cost model (E8)
+   mp_repro server                   open-loop latency tails + knee (E9)
    mp_repro locks                    lock latency microtable (E3)
    mp_repro portability              source-line inventory (E2)
    mp_repro all [--quick]            everything
@@ -176,6 +177,34 @@ let sgi_cmd =
   Cmd.v (Cmd.info "sgi" ~doc:"The SGI machine model sweep (E7)")
     Term.(const run $ quick_arg $ procs_arg $ jobs_arg $ sched_arg $ gc_arg)
 
+let server_cmd =
+  let json_arg =
+    let doc = "Also write the sweep to $(b,BENCH_server.json)." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run quick jobs machine json =
+    let machine = Option.value machine ~default:"sequent" in
+    let jobs = Exec.Job_pool.resolve_jobs jobs in
+    let grid = Report.Server_bench.grid ~quick ~jobs ~machine () in
+    let ramp = Report.Server_bench.ramp ~quick ~jobs ~machine () in
+    Report.Server_bench.print_server fmt grid ramp;
+    if json then begin
+      let oc = open_out "BENCH_server.json" in
+      output_string oc (Report.Server_bench.to_json ~quick grid ramp);
+      close_out oc;
+      (* stderr, so stdout stays byte-identical with and without --json *)
+      Printf.eprintf "wrote BENCH_server.json\n"
+    end
+  in
+  Cmd.v
+    (Cmd.info "server"
+       ~doc:
+         "Open-loop server workload (E9): seeded Poisson arrivals through \
+          the CML accept/shard/work/reply pipeline; latency-tail grid per \
+          (scheduler, procs) plus a saturation ramp with the per-scheduler \
+          p99 knee")
+    Term.(const run $ quick_arg $ jobs_arg $ machine_arg $ json_arg)
+
 let locks_cmd =
   let run () = Report.Experiments.print_lock_latency fmt in
   Cmd.v (Cmd.info "locks" ~doc:"Lock latency vs the paper's 6/46 us (E3)")
@@ -225,6 +254,7 @@ let () =
             gc_cmd;
             gc_sweep_cmd;
             sgi_cmd;
+            server_cmd;
             locks_cmd;
             portability_cmd;
             all_cmd;

@@ -526,6 +526,13 @@ struct
           (W_pred ready)
 
     let now () = float_of_int !nsteps *. 0.001
+
+    (* Accounting only — not a scheduling point, so it adds no schedules
+       to the exploration. *)
+    let queue_wait = Array.make (Array.length procs) 0.
+
+    let note_queue_wait ~seconds =
+      queue_wait.(!cur) <- queue_wait.(!cur) +. seconds
   end
 
   (* Scenario-side accessor for the tracked sharer set (Work.line is
@@ -786,9 +793,12 @@ struct
   let stats () =
     let t = Mp.Stats.zero ~platform:name ~procs:n_procs in
     t.per_proc.(0).lock_spins <- !spins;
+    Array.iteri (fun i w -> t.per_proc.(i).queue_wait <- w) Work.queue_wait;
     { t with elapsed = Work.now () }
 
-  let reset_stats () = spins := 0
+  let reset_stats () =
+    spins := 0;
+    Array.fill Work.queue_wait 0 (Array.length Work.queue_wait) 0.
 
   (* ---- exploration drivers ------------------------------------------ *)
 

@@ -353,6 +353,99 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
           (List.rev !got = [ 1; 2 ])
           "bounded_queue: FIFO order or content violated")
 
+  (* ---- the server pipeline -------------------------------------------- *)
+
+  (* The open-loop server pipeline (lib/workloads/server.ml) reduced to its
+     checkable core: an accepter routes a fixed 4-request trace (shard =
+     id mod 2) over two bounded shard queues, one worker per shard.  The
+     scenario harness runs 2 procs, so the root is the accepter and then
+     becomes shard 0's worker once the trace is routed; shard 1's worker
+     runs concurrently on the spawned proc.  Shard 1's queue has capacity
+     1 — the accepter takes the blocking full-queue path whenever its
+     worker lags — while shard 0's is wide enough that its (not yet
+     started) worker can never deadlock the accepter.  On every
+     interleaving each shard must reply to exactly its requests, in FIFO
+     order.
+
+     [~broken:true] is the deliberately buggy router: on a shard
+     collision (the queue still full after one visible retry, i.e. the
+     previous request to the same shard not yet consumed) it drops the
+     request instead of waiting for space.  A schedule where shard 1's
+     worker lags the accepter loses a reply; exploration must catch it at
+     bound 2 and shrink to a trace naming the lost ids. *)
+  let server_pipeline_scenario ~broken () =
+    C.run (fun () ->
+        let module L = T_ttas in
+        let trace = [ 0; 1; 2; 3 ] in
+        let poison = -1 in
+        let qs =
+          [|
+            Queues.Bounded_queue.create ~capacity:4;
+            Queues.Bounded_queue.create ~capacity:1;
+          |]
+        in
+        let locks = Array.map (fun _ -> L.mutex_lock ()) qs in
+        let replies = Array.map (fun _ -> ref []) qs in
+        let try_put s v =
+          L.locked locks.(s) (fun () -> Queues.Bounded_queue.try_enq qs.(s) v)
+        in
+        let put s v =
+          let rec go () =
+            if not (try_put s v) then begin
+              C.Work.idle ();
+              go ()
+            end
+          in
+          go ()
+        in
+        let route s v =
+          if broken then begin
+            if not (try_put s v) then begin
+              C.Work.poll ();
+              (* still full: the colliding request is silently dropped *)
+              if not (try_put s v) then ()
+            end
+          end
+          else put s v
+        in
+        let take s =
+          let rec go () =
+            match
+              L.locked locks.(s) (fun () -> Queues.Bounded_queue.deq_opt qs.(s))
+            with
+            | Some v -> v
+            | None ->
+                C.Work.idle ();
+                go ()
+          in
+          go ()
+        in
+        let work s =
+          let rec loop () =
+            let v = take s in
+            if v <> poison then begin
+              replies.(s) := v :: !(replies.(s));
+              loop ()
+            end
+          in
+          loop ()
+        in
+        C.spawn (fun () -> work 1);
+        List.iter (fun id -> route (id mod 2) id) trace;
+        Array.iteri (fun s _ -> put s poison) qs;
+        work 0;
+        join ();
+        Array.iteri
+          (fun s got ->
+            let expected = List.filter (fun id -> id mod 2 = s) trace in
+            let render l = String.concat "," (List.map string_of_int l) in
+            check
+              (List.rev !got = expected)
+              "server: shard %d replied to [%s], expected [%s]" s
+              (render (List.rev !got))
+              (render expected))
+          replies)
+
   (* ---- hierarchical (NUMA) topology ----------------------------------- *)
 
   (* Run a scenario body with the procs split into [n] contiguous nodes,
@@ -824,6 +917,7 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
       ("sched_ws_steal_half", ws_steal_half_scenario);
       ("queue_multi", multi_queue_scenario);
       ("queue_bounded", bounded_queue_scenario);
+      ("server_pipeline", server_pipeline_scenario ~broken:false);
       ("sync_ivar", sync_ivar_scenario);
       ("sync_mvar", sync_mvar_scenario);
       ("sync_semaphore", sync_semaphore_scenario);
@@ -848,5 +942,9 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) = struct
              threads_scenario ~sched:p ))
          Mpthreads.Sched_policy.
            [ Fifo; Lifo; Distributed; Ws; Micropools 2 ]
-  let broken = [ ("broken_tas", mutex_scenario (module Broken_tas)) ]
+  let broken =
+    [
+      ("broken_tas", mutex_scenario (module Broken_tas));
+      ("broken_server_drop", server_pipeline_scenario ~broken:true);
+    ]
 end

@@ -13,6 +13,7 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) : sig
   val all : (string * (unit -> unit)) list
   (** Small-state scenarios meant for exhaustive bound-2 DFS: the 8 mutex
       algorithms + the reader/writer spin lock, the three shared queues,
+      the server accept/shard/work pipeline over bounded shard queues,
       Sync ivar/mvar/semaphore, Select, CML rendezvous and choice, and the
       proc-pool contract. *)
 
@@ -21,6 +22,7 @@ module Make (C : Mp_check.S with type Proc.proc_datum = int) : sig
       over the checker) — explore with a low bound or a schedule cap. *)
 
   val broken : (string * (unit -> unit)) list
-  (** Deliberately buggy clients (a racy test-and-set lock).  Exploration
-      MUST find a failure here — the harness's own self-test. *)
+  (** Deliberately buggy clients (a racy test-and-set lock; a server
+      router that drops a request on shard collision).  Exploration MUST
+      find a failure here — the harness's own self-test. *)
 end

@@ -227,6 +227,13 @@ module Make
       done
 
     let now () = Unix.gettimeofday ()
+
+    (* The wait happened on the calling domain, so the slot lookup
+       attributes it to the right proc — this is what lets server-tail
+       attribution work on real hardware, not just under the simulator. *)
+    let note_queue_wait ~seconds =
+      let stats = (my_slot ()).stats in
+      stats.queue_wait <- stats.queue_wait +. seconds
   end
 
   let last_elapsed = ref 0.
@@ -340,6 +347,7 @@ module Make
         t.per_proc.(i).busy <- s.stats.busy;
         t.per_proc.(i).idle <- s.stats.idle;
         t.per_proc.(i).gc_wait <- s.stats.gc_wait;
+        t.per_proc.(i).queue_wait <- s.stats.queue_wait;
         t.per_proc.(i).lock_spins <- s.stats.lock_spins;
         t.per_proc.(i).alloc_words <- s.stats.alloc_words)
       slots;
@@ -353,6 +361,7 @@ module Make
         s.stats.busy <- 0.;
         s.stats.idle <- 0.;
         s.stats.gc_wait <- 0.;
+        s.stats.queue_wait <- 0.;
         s.stats.lock_spins <- 0;
         s.stats.alloc_words <- 0)
       slots

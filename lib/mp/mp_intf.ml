@@ -179,6 +179,15 @@ module type WORK = sig
 
   val now : unit -> float
   (** Seconds: virtual time on the simulator, wall clock otherwise. *)
+
+  val note_queue_wait : seconds:float -> unit
+  (** Attribute [seconds] the calling proc just spent blocked on a bounded
+      queue (the caller brackets the blocking section with {!now}).  Pure
+      accounting — never charges and never suspends; surfaced per proc as
+      [Stats.queue_wait] on every backend, like GC-barrier stalls.  The
+      wait's cycles are already charged (as idle/spin time) by the blocking
+      path itself; without this note they are indistinguishable from
+      out-of-work idling in the per-proc totals. *)
 end
 
 (** Structured telemetry: typed trace events and named counters, emitted by
@@ -215,6 +224,12 @@ module type TELEMETRY = sig
   val counter : string -> Obs.Counters.counter
   (** Find-or-create in [counters]; resolve once, keep the handle. *)
 
+  val histograms : Obs.Histogram.registry
+  (** This platform's latency-histogram registry, alongside [counters]. *)
+
+  val histogram : string -> Obs.Histogram.t
+  (** Find-or-create in [histograms]; resolve once, keep the handle. *)
+
   val enable_memory : ?capacity:int -> unit -> unit
   (** Start recording into per-stream in-memory rings. *)
 
@@ -240,6 +255,8 @@ end) : TELEMETRY = struct
   let emit e = Obs.Telemetry.emit handle e
   let counters = Obs.Telemetry.counters handle
   let counter name = Obs.Counters.counter counters name
+  let histograms = Obs.Telemetry.histograms handle
+  let histogram name = Obs.Histogram.histogram histograms name
   let enable_memory ?capacity () = Obs.Telemetry.enable_memory ?capacity handle
   let attach_sink s = Obs.Telemetry.attach_sink handle s
   let disable () = Obs.Telemetry.disable handle

@@ -98,6 +98,8 @@ struct
       done
 
     let now () = Unix.gettimeofday ()
+    let queue_wait = ref 0.
+    let note_queue_wait ~seconds = queue_wait := !queue_wait +. seconds
   end
 
   let last_elapsed = ref 0.
@@ -155,6 +157,7 @@ struct
     let t = Stats.zero ~platform:name ~procs:1 in
     (* The single proc is running client code whenever the platform is. *)
     t.per_proc.(0).busy <- !last_elapsed;
+    t.per_proc.(0).queue_wait <- !Work.queue_wait;
     t.per_proc.(0).lock_spins <- !Lock.spins;
     t.per_proc.(0).alloc_words <- !last_alloc_words;
     { t with elapsed = !last_elapsed; gc_count = !last_gc_count }
@@ -163,6 +166,7 @@ struct
     last_elapsed := 0.;
     last_alloc_words := 0;
     last_gc_count := 0;
+    Work.queue_wait := 0.;
     Lock.spins := 0
 end
 

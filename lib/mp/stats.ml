@@ -2,6 +2,7 @@ type proc_stats = {
   mutable busy : float;
   mutable idle : float;
   mutable gc_wait : float;
+  mutable queue_wait : float;
   mutable lock_spins : int;
   mutable alloc_words : int;
 }
@@ -21,7 +22,14 @@ type t = {
 }
 
 let make_proc_stats () =
-  { busy = 0.; idle = 0.; gc_wait = 0.; lock_spins = 0; alloc_words = 0 }
+  {
+    busy = 0.;
+    idle = 0.;
+    gc_wait = 0.;
+    queue_wait = 0.;
+    lock_spins = 0;
+    alloc_words = 0;
+  }
 
 let zero ~platform ~procs =
   {
@@ -61,6 +69,9 @@ let total_lock_spins t =
 
 let total_gc_wait t =
   Array.fold_left (fun acc p -> acc +. p.gc_wait) 0. t.per_proc
+
+let total_queue_wait t =
+  Array.fold_left (fun acc p -> acc +. p.queue_wait) 0. t.per_proc
 
 let pp fmt t =
   Format.fprintf fmt

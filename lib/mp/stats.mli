@@ -12,6 +12,9 @@ type proc_stats = {
   mutable busy : float;  (** seconds spent running client code *)
   mutable idle : float;  (** seconds spent idle, waiting for work *)
   mutable gc_wait : float;  (** seconds stalled at GC barriers *)
+  mutable queue_wait : float;
+      (** seconds blocked on full/empty bounded queues (reported through
+          [Work.note_queue_wait] by the queue implementations) *)
   mutable lock_spins : int;  (** failed [try_lock] attempts *)
   mutable alloc_words : int;  (** words allocated by this proc *)
 }
@@ -55,5 +58,9 @@ val total_lock_spins : t -> int
 val total_gc_wait : t -> float
 (** Seconds procs spent stalled for collection, summed over procs:
     barrier waits plus their own minor pauses. *)
+
+val total_queue_wait : t -> float
+(** Seconds procs spent blocked on bounded queues, summed over procs —
+    the backpressure share of an open-loop server's tail. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,68 @@
+(** Constant-space log-bucketed latency histogram.
+
+    Values (non-negative ints — nanoseconds or cycles by convention) below
+    2{^sub_bits} land in exact unit buckets; above that each power-of-two
+    range splits into [sub] = 2{^sub_bits} sub-buckets, bounding the relative
+    width of any bucket — and therefore the error of any quantile read off a
+    bucket bound — by 1/[sub] (6.25%).  The bucket array covers the whole
+    non-negative int range, so a histogram's footprint is fixed (~1k cells)
+    no matter how many values it absorbs: millions of simulated requests
+    record in constant space.
+
+    Cells are [Atomic], so concurrent recorders on the domains backend are
+    safe; [merge] is a pointwise sum and hence associative and commutative,
+    which keeps [Job_pool] fan-out deterministic: per-cell histograms merged
+    in index order give bit-identical results for any [--jobs]. *)
+
+type t
+
+val sub : int
+(** Sub-buckets per power of two (16). *)
+
+val create : unit -> t
+val add : t -> int -> unit
+(** Record a value; negatives are clamped to 0. *)
+
+val count : t -> int
+val sum : t -> int
+val min_value : t -> int
+val max_value : t -> int
+val mean : t -> float
+
+val merge : t -> t -> t
+(** Fresh histogram holding the pointwise sum; associative, commutative. *)
+
+val merge_into : src:t -> dst:t -> unit
+
+val quantile : t -> float -> int
+(** [quantile t q] for q in [0,1]: inclusive upper bound of the bucket
+    holding the rank-⌈q·count⌉ value, clamped to the recorded max — an
+    overestimate of the exact order statistic by at most one bucket width
+    (relative error ≤ 1/{!sub}).  0 when empty. *)
+
+val quantile_bounds : t -> float -> int * int
+(** [(lo, hi)] bracketing the exact order statistic: lo ≤ exact ≤ hi. *)
+
+val reset : t -> unit
+
+val nonzero_buckets : t -> (int * int) list
+(** [(bucket_lower_bound, count)] for every non-empty bucket, ascending —
+    a deterministic digest of the full distribution. *)
+
+val to_json : t -> string
+(** One JSON object: count/sum/min/max, p50/p95/p99/p999, and the
+    [nonzero_buckets] list.  Deterministic. *)
+
+(** {2 Named registry}
+
+    Mirrors {!Counters}: find-or-create under a mutex, resolve handles once,
+    [dump] sorted by name.  Each platform owns one (see
+    [Mp_intf.TELEMETRY]). *)
+
+type registry
+
+val create_registry : unit -> registry
+val histogram : registry -> string -> t
+val find : registry -> string -> t option
+val dump : registry -> (string * t) list
+val reset_registry : registry -> unit

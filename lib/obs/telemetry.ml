@@ -3,6 +3,7 @@ type t = {
   stream_of : unit -> int;
   now_ts : unit -> int;
   counters : Counters.t;
+  histograms : Histogram.registry;
   mutable on : bool;
   mutable rings : Event.t Ring.t array; (* [||] unless a memory sink is up *)
   mutable sink : Sink.t option;
@@ -15,6 +16,7 @@ let create ?(streams = 1) ~stream_of ~now_ts () =
     stream_of;
     now_ts;
     counters = Counters.create ();
+    histograms = Histogram.create_registry ();
     on = false;
     rings = [||];
     sink = None;
@@ -23,6 +25,7 @@ let create ?(streams = 1) ~stream_of ~now_ts () =
 let enabled t = t.on
 let ts t = t.now_ts ()
 let counters t = t.counters
+let histograms t = t.histograms
 
 let enable_memory ?(capacity = 4096) t =
   if Array.length t.rings = 0 then

@@ -1,0 +1,49 @@
+(** Sweep driver for the open-loop server workload (exhibit E9): a
+    (scheduler × procs) latency-tail grid at a fixed offered load and a
+    per-scheduler saturation ramp, on private simulated machines fanned
+    out through {!Exec.Job_pool} — deterministic for any [jobs]. *)
+
+type cell = {
+  machine : string;
+  sched : string;
+  procs : int;
+  rate : float;  (** offered load, requests per virtual second *)
+  requests : int;
+  completed : int;
+  elapsed : float;
+  throughput : float;
+  p50_ns : int;
+  p95_ns : int;
+  p99_ns : int;
+  p999_ns : int;
+  mean_ns : float;
+  queue_wait : float;  (** producer seconds blocked on full shard queues *)
+  buckets : (int * int) list;  (** latency histogram digest *)
+}
+
+val schedulers : string list
+(** ["fifo"; "distributed"; "ws"] — central-queue baseline, the
+    golden-pinned default, and work stealing. *)
+
+val grid_procs : int list
+(** [1; 4; 16]. *)
+
+val ramp_rates : quick:bool -> float list
+
+val grid : ?quick:bool -> ?jobs:int -> ?machine:string -> unit -> cell list
+(** One cell per (scheduler, procs) at the default offered load. *)
+
+val ramp :
+  ?quick:bool -> ?jobs:int -> ?machine:string -> ?procs:int -> unit ->
+  cell list
+(** Offered-load ramp per scheduler at [procs] (default 16). *)
+
+val knee : cell list -> sched:string -> float option
+(** Lowest ramp rate whose p99 exceeds 5x the lightest-load p99 —
+    [None] if the scheduler never saturates within the ramp. *)
+
+val print_server : Format.formatter -> cell list -> cell list -> unit
+(** Render grid + ramp tables and the per-scheduler knees. *)
+
+val to_json : quick:bool -> cell list -> cell list -> string
+(** The BENCH_server.json document (schema mp-repro/server/v1). *)

@@ -1123,6 +1123,15 @@ struct
       end
 
     let now () = Sim_config.cycles_to_seconds config (cur ()).clock
+
+    (* Virtual seconds, kept per proc outside the cycle accounting: the
+       blocking path already charged the cycles as idle time, this only
+       re-labels them for [Stats.queue_wait]. *)
+    let queue_wait_secs = Array.make config.procs 0.
+
+    let note_queue_wait ~seconds =
+      let id = (cur ()).id in
+      queue_wait_secs.(id) <- queue_wait_secs.(id) +. seconds
   end
 
   let reset () =
@@ -1139,6 +1148,7 @@ struct
         p.alloc_words <- 0;
         p.ran_ahead <- 0)
       procs;
+    Array.fill Work.queue_wait_secs 0 config.procs 0.;
     Ready_heap.clear ready;
     Array.fill bus_free_at 0 n_nodes 0;
     Array.fill bus_busy 0 n_nodes 0;
@@ -1212,6 +1222,7 @@ struct
         s.busy <- secs p.busy;
         s.idle <- secs p.idle;
         s.gc_wait <- secs p.gc_wait;
+        s.queue_wait <- Work.queue_wait_secs.(i);
         s.lock_spins <- p.spins;
         s.alloc_words <- p.alloc_words)
       procs;

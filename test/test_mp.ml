@@ -527,6 +527,41 @@ struct
         check (Printf.sprintf "policy %s: all tasks ran once" label) 10 v)
       Mpthreads.Sched_policy.[ Fifo; Lifo; Distributed; Ws; Micropools 2 ]
 
+  (* The server pipeline end-to-end on this backend: a fixed 200-request
+     closed-burst trace (rate = infinity ⇒ every arrival at t = 0, so no
+     sleep timers — it runs under the checker's single schedule too);
+     every reply must come back, and with one worker per shard each
+     shard must process its requests in FIFO (id) order. *)
+  module Server = Workloads.Server.Make (P)
+
+  let test_server_pipeline () =
+    let cfg =
+      {
+        Workloads.Server.default with
+        Workloads.Server.requests = 200;
+        rate = infinity;
+        shards = 2;
+        queue_cap = 4;
+        record_order = true;
+      }
+    in
+    let procs = min 2 (P.run (fun () -> P.Proc.max_procs ())) in
+    let r = Server.run ~procs ~quantum:1e6 cfg in
+    check "all replies received" 200 r.Workloads.Server.completed;
+    check "histogram holds every latency" 200
+      (Obs.Histogram.count r.Workloads.Server.hist);
+    Array.iteri
+      (fun s order ->
+        let expected =
+          List.filter
+            (fun id -> Workloads.Server.shard_of cfg id = s)
+            (List.init 200 Fun.id)
+        in
+        Alcotest.(check (list int))
+          (Printf.sprintf "shard %d processes in FIFO order" s)
+          expected order)
+      r.Workloads.Server.order
+
   let suite =
     [
       Alcotest.test_case "identity" `Quick test_identity;
@@ -540,6 +575,7 @@ struct
       Alcotest.test_case "exceptions and reuse" `Quick
         test_exceptions_and_reuse;
       Alcotest.test_case "scheduler policy family" `Quick test_sched_policies;
+      Alcotest.test_case "server pipeline" `Quick test_server_pipeline;
     ]
 end
 

@@ -1,0 +1,279 @@
+(* Open-loop server workload: golden determinism cells on the simulator,
+   latency-tail ordering, the pure generators, and qcheck properties of the
+   log-bucketed histogram it reports through.
+
+   The GOLDEN table is produced by bench/server_golden.exe — regenerate
+   with `dune exec bench/server_golden.exe` when the pinned default config
+   changes, and never update it to absorb a virtual-time change without
+   understanding why the change is correct. *)
+
+let check = Alcotest.(check int)
+
+(* ---------------- golden determinism cells ---------------- *)
+
+let digest (sched, procs) =
+  let module M =
+    Sim.Mp_sim.Int (struct
+        let config =
+          Sim.Sim_config.sequent ~procs:16
+            ~sched:(Mpthreads.Sched_policy.to_string sched) ()
+      end)
+      ()
+  in
+  let module S = Workloads.Server.Make (M) in
+  let r = S.run ~procs ~sched Workloads.Server.default in
+  Printf.sprintf
+    "GOLDEN server sched=%-12s procs=%-2d count=%d sum=%d p50=%d p95=%d \
+     p99=%d p999=%d elapsed=%.9f tput=%.3f qwait=%.9f"
+    (Mpthreads.Sched_policy.to_string sched)
+    procs
+    (Obs.Histogram.count r.Workloads.Server.hist)
+    (Obs.Histogram.sum r.Workloads.Server.hist)
+    r.Workloads.Server.p50 r.Workloads.Server.p95 r.Workloads.Server.p99
+    r.Workloads.Server.p999 r.Workloads.Server.elapsed
+    r.Workloads.Server.throughput r.Workloads.Server.queue_wait
+
+let golden =
+  Mpthreads.Sched_policy.
+    [
+      ( (Fifo, 1),
+        "GOLDEN server sched=fifo         procs=1  count=2000 \
+         sum=7589691914335 p50=3758096383 p95=7247757311 p99=7516192767 \
+         p999=7528816350 elapsed=15.561608000 tput=128.521 \
+         qwait=0.000000000" );
+      ( (Fifo, 4),
+        "GOLDEN server sched=fifo         procs=4  count=2000 \
+         sum=33292164956 p50=12058623 p95=52428799 p99=75497471 \
+         p999=96468991 elapsed=8.063353062 tput=248.036 qwait=0.000000000" );
+      ( (Fifo, 16),
+        "GOLDEN server sched=fifo         procs=16 count=2000 \
+         sum=33086515985 p50=11534335 p95=50331647 p99=75497471 \
+         p999=96468991 elapsed=8.063823313 tput=248.021 qwait=0.000000000" );
+      ( (Distributed, 1),
+        "GOLDEN server sched=distributed  procs=1  count=2000 \
+         sum=7518810880209 p50=3892314111 p95=7516192767 p99=7784628223 \
+         p999=7821084695 elapsed=15.458695375 tput=129.377 \
+         qwait=12.097736375" );
+      ( (Distributed, 4),
+        "GOLDEN server sched=distributed  procs=4  count=2000 \
+         sum=33356378731 p50=11534335 p95=52428799 p99=75497471 \
+         p999=96468991 elapsed=8.063111062 tput=248.043 qwait=0.000000000" );
+      ( (Distributed, 16),
+        "GOLDEN server sched=distributed  procs=16 count=2000 \
+         sum=32508325731 p50=11534335 p95=50331647 p99=71303167 \
+         p999=96468991 elapsed=8.063249500 tput=248.039 qwait=0.000000000" );
+      ( (Ws, 1),
+        "GOLDEN server sched=ws           procs=1  count=2000 \
+         sum=7113112038035 p50=3623878655 p95=6979321855 p99=6979321855 \
+         p999=7052951600 elapsed=15.085442312 tput=132.578 \
+         qwait=0.000000000" );
+      ( (Ws, 4),
+        "GOLDEN server sched=ws           procs=4  count=2000 \
+         sum=32160219338 p50=11010047 p95=50331647 p99=71303167 \
+         p999=96468991 elapsed=8.062623625 tput=248.058 qwait=0.000000000" );
+      ( (Ws, 16),
+        "GOLDEN server sched=ws           procs=16 count=2000 \
+         sum=31433743938 p50=11010047 p95=48234495 p99=71303167 \
+         p999=92274687 elapsed=8.062611375 tput=248.059 qwait=0.000000000" );
+    ]
+
+let golden_case cell expected () =
+  Alcotest.(check string) "server golden digest" expected (digest cell)
+
+(* Same seed, fresh machine instance: the virtual-time histogram is
+   bit-identical run-to-run (determinism, not just stability of a single
+   instance's state). *)
+let test_rerun_identical () =
+  let cell = (Mpthreads.Sched_policy.Distributed, 4) in
+  Alcotest.(check string) "rerun digest" (digest cell) (digest cell)
+
+(* The acceptance exhibit: work stealing beats the central FIFO queue on
+   the p99 tail at full machine width. *)
+let test_ws_tail_beats_fifo () =
+  let p99 sched =
+    let module M =
+      Sim.Mp_sim.Int (struct
+          let config =
+            Sim.Sim_config.sequent ~procs:16
+              ~sched:(Mpthreads.Sched_policy.to_string sched) ()
+        end)
+        ()
+    in
+    let module S = Workloads.Server.Make (M) in
+    (S.run ~procs:16 ~sched Workloads.Server.default).Workloads.Server.p99
+  in
+  let fifo = p99 Mpthreads.Sched_policy.Fifo in
+  let ws = p99 Mpthreads.Sched_policy.Ws in
+  if ws >= fifo then
+    Alcotest.failf "ws p99 %d not below central fifo p99 %d at 16 procs" ws
+      fifo
+
+(* ---------------- pure generators ---------------- *)
+
+let test_arrivals_pure_ascending () =
+  let cfg = Workloads.Server.default in
+  let a = Workloads.Server.arrivals cfg in
+  let b = Workloads.Server.arrivals cfg in
+  check "length" cfg.Workloads.Server.requests (Array.length a);
+  Alcotest.(check bool) "pure" true (a = b);
+  Array.iteri
+    (fun i t ->
+      if i > 0 && t < a.(i - 1) then
+        Alcotest.failf "arrivals not ascending at %d" i;
+      if not (Float.is_finite t) || t < 0. then
+        Alcotest.failf "bad arrival %f at %d" t i)
+    a
+
+let test_arrivals_burst_when_rate_unbounded () =
+  let cfg = { Workloads.Server.default with rate = infinity } in
+  Array.iter
+    (fun t -> Alcotest.(check (float 0.)) "burst at 0" 0. t)
+    (Workloads.Server.arrivals cfg);
+  let cfg0 = { Workloads.Server.default with rate = 0. } in
+  Array.iter
+    (fun t -> Alcotest.(check (float 0.)) "burst at 0" 0. t)
+    (Workloads.Server.arrivals cfg0)
+
+let test_bursty_same_mean_scale () =
+  (* the MMPP keeps the same long-run offered load within a factor ~2 of
+     Poisson (it alternates rate*f and rate/f) *)
+  let n = 20_000 in
+  let p = { Workloads.Server.default with requests = n } in
+  let b =
+    {
+      p with
+      Workloads.Server.arrival =
+        Workloads.Server.Bursty { factor = 4.; p_switch = 0.05 };
+    }
+  in
+  let last cfg =
+    let a = Workloads.Server.arrivals cfg in
+    a.(n - 1)
+  in
+  let ratio = last b /. last p in
+  if ratio < 0.3 || ratio > 3.0 then
+    Alcotest.failf "bursty span off Poisson by %fx" ratio
+
+let test_shard_service_pure_bounded () =
+  let cfg = Workloads.Server.default in
+  for id = 0 to 999 do
+    let s = Workloads.Server.shard_of cfg id in
+    if s < 0 || s >= cfg.Workloads.Server.shards then
+      Alcotest.failf "shard %d out of range" s;
+    let w = Workloads.Server.service_instrs cfg id in
+    check "pure service" w (Workloads.Server.service_instrs cfg id);
+    if w < 16 then Alcotest.failf "service %d below clamp" w
+  done
+
+(* ---------------- histogram properties (qcheck) ---------------- *)
+
+let hist_of values =
+  let h = Obs.Histogram.create () in
+  List.iter (Obs.Histogram.add h) values;
+  h
+
+let hdigest h =
+  ( Obs.Histogram.count h,
+    Obs.Histogram.sum h,
+    Obs.Histogram.min_value h,
+    Obs.Histogram.max_value h,
+    Obs.Histogram.nonzero_buckets h )
+
+let value = QCheck.(oneof [ int_bound 100; int_bound 1_000_000_000 ])
+
+let prop_merge_commutative =
+  QCheck.Test.make ~name:"histogram merge commutes" ~count:300
+    QCheck.(pair (list value) (list value))
+    (fun (a, b) ->
+      let ha = hist_of a and hb = hist_of b in
+      hdigest (Obs.Histogram.merge ha hb) = hdigest (Obs.Histogram.merge hb ha))
+
+let prop_merge_associative =
+  QCheck.Test.make ~name:"histogram merge associates" ~count:300
+    QCheck.(triple (list value) (list value) (list value))
+    (fun (a, b, c) ->
+      let ha = hist_of a and hb = hist_of b and hc = hist_of c in
+      let open Obs.Histogram in
+      hdigest (merge (merge ha hb) hc) = hdigest (merge ha (merge hb hc)))
+
+let prop_merge_is_concat =
+  QCheck.Test.make ~name:"merge a b = histogram of a @ b" ~count:300
+    QCheck.(pair (list value) (list value))
+    (fun (a, b) ->
+      hdigest (Obs.Histogram.merge (hist_of a) (hist_of b))
+      = hdigest (hist_of (a @ b)))
+
+(* rank-⌈q·n⌉ order statistic (1-based), the thing quantile_bounds brackets *)
+let exact_quantile values q =
+  let sorted = List.sort compare values in
+  let n = List.length sorted in
+  let rank = max 1 (min n (int_of_float (ceil (q *. float_of_int n)))) in
+  List.nth sorted (rank - 1)
+
+let prop_quantile_brackets =
+  QCheck.Test.make ~name:"quantile_bounds bracket the exact order statistic"
+    ~count:300
+    QCheck.(pair (list_of_size Gen.(1 -- 200) value) (float_range 0. 1.))
+    (fun (values, q) ->
+      let values = List.map abs values in
+      let h = hist_of values in
+      let lo, hi = Obs.Histogram.quantile_bounds h q in
+      let exact = exact_quantile values q in
+      lo <= exact && exact <= hi && Obs.Histogram.quantile h q = hi)
+
+let prop_quantile_error_bound =
+  QCheck.Test.make ~name:"quantile overestimates by at most one bucket width"
+    ~count:300
+    QCheck.(list_of_size Gen.(1 -- 200) value)
+    (fun values ->
+      let values = List.map abs values in
+      let h = hist_of values in
+      List.for_all
+        (fun q ->
+          let exact = exact_quantile values q in
+          let est = Obs.Histogram.quantile h q in
+          float_of_int (est - exact)
+          <= (float_of_int exact /. float_of_int Obs.Histogram.sub) +. 1.)
+        [ 0.5; 0.95; 0.99; 0.999 ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest in
+  Alcotest.run "server"
+    [
+      ( "goldens",
+        List.map
+          (fun ((sched, procs), expected) ->
+            Alcotest.test_case
+              (Printf.sprintf "%s@%d"
+                 (Mpthreads.Sched_policy.to_string sched)
+                 procs)
+              `Quick
+              (golden_case (sched, procs) expected))
+          golden );
+      ( "determinism",
+        [ Alcotest.test_case "rerun identical" `Quick test_rerun_identical ] );
+      ( "tails",
+        [
+          Alcotest.test_case "ws p99 < fifo p99 at 16 procs" `Quick
+            test_ws_tail_beats_fifo;
+        ] );
+      ( "generators",
+        [
+          Alcotest.test_case "arrivals pure + ascending" `Quick
+            test_arrivals_pure_ascending;
+          Alcotest.test_case "unbounded rate = closed burst" `Quick
+            test_arrivals_burst_when_rate_unbounded;
+          Alcotest.test_case "bursty spans like poisson" `Quick
+            test_bursty_same_mean_scale;
+          Alcotest.test_case "shard/service pure + bounded" `Quick
+            test_shard_service_pure_bounded;
+        ] );
+      ( "histogram",
+        [
+          qt prop_merge_commutative;
+          qt prop_merge_associative;
+          qt prop_merge_is_concat;
+          qt prop_quantile_brackets;
+          qt prop_quantile_error_bound;
+        ] );
+    ]
